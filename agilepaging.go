@@ -1,0 +1,266 @@
+// Package agilepaging is a simulator-based reproduction of "Agile Paging:
+// Exceeding the Best of Nested and Shadow Paging" (Gandhi, Hill, Swift —
+// ISCA 2016).
+//
+// It models the full memory-virtualization stack the paper studies — x86-64
+// four-level page tables, a Sandy-Bridge-style TLB hierarchy, page walk
+// caches, the nested/shadow/agile hardware page-walk state machines, a
+// guest OS, and a VMM with shadow page table coherence and VM-exit
+// accounting — and regenerates every table and figure of the paper's
+// evaluation.
+//
+// Quick use:
+//
+//	res, err := agilepaging.Run(agilepaging.Config{
+//	    Workload:  "dedup",
+//	    Technique: agilepaging.Agile,
+//	    PageSize:  agilepaging.Page4K,
+//	})
+//	fmt.Printf("walk %.1f%% vmm %.1f%%\n", 100*res.WalkOverhead, 100*res.VMMOverhead)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package agilepaging
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"agilepaging/internal/core"
+	"agilepaging/internal/experiments"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// Technique selects the memory-virtualization technique (paper Table I).
+type Technique int
+
+// The four techniques the paper compares.
+const (
+	// Native is unvirtualized execution with a 1D page walk.
+	Native Technique = iota
+	// Nested is hardware 2D paging (up to 24 references per walk).
+	Nested
+	// Shadow is VMM-maintained shadow paging (native-speed walks, VM exits
+	// on page table updates).
+	Shadow
+	// Agile is the paper's contribution: walks start in shadow mode and
+	// may switch mid-walk to nested mode.
+	Agile
+)
+
+// String names the technique.
+func (t Technique) String() string { return t.mode().String() }
+
+// MarshalJSON encodes the technique by name.
+func (t Technique) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+func (t Technique) mode() walker.Mode {
+	switch t {
+	case Native:
+		return walker.ModeNative
+	case Nested:
+		return walker.ModeNested
+	case Shadow:
+		return walker.ModeShadow
+	case Agile:
+		return walker.ModeAgile
+	}
+	panic(fmt.Sprintf("agilepaging: invalid technique %d", int(t)))
+}
+
+// Techniques lists all four techniques in the paper's order.
+func Techniques() []Technique { return []Technique{Native, Nested, Shadow, Agile} }
+
+// PageSize selects the page-size policy (used by the guest OS and, when
+// virtualized, by the VMM's host table — the paper evaluates 4K and 2M).
+type PageSize int
+
+// Page sizes.
+const (
+	Page4K PageSize = iota
+	Page2M
+	// Page1G is supported by the table, walker, and TLB layers (paper §V
+	// notes agile paging supports 1G pages); the packaged workloads only
+	// sweep 4K and 2M as the paper's evaluation does, but scenarios can
+	// map 1G regions.
+	Page1G
+)
+
+// String names the page size.
+func (p PageSize) String() string { return p.size().String() }
+
+// MarshalJSON encodes the page size by name.
+func (p PageSize) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+func (p PageSize) size() pagetable.Size {
+	switch p {
+	case Page4K:
+		return pagetable.Size4K
+	case Page2M:
+		return pagetable.Size2M
+	case Page1G:
+		return pagetable.Size1G
+	}
+	panic(fmt.Sprintf("agilepaging: invalid page size %d", int(p)))
+}
+
+// RevertPolicy selects the agile Nested⇒Shadow policy (paper §III-C).
+type RevertPolicy int
+
+// Revert policies.
+const (
+	// RevertDirtyScan is the paper's effective dirty-bit-scanning policy
+	// (the default).
+	RevertDirtyScan RevertPolicy = iota
+	// RevertReset is the simple periodic full reset.
+	RevertReset
+	// RevertNone never converts nested parts back.
+	RevertNone
+)
+
+func (p RevertPolicy) core() core.RevertPolicy {
+	switch p {
+	case RevertDirtyScan:
+		return core.RevertDirtyScan
+	case RevertReset:
+		return core.RevertReset
+	case RevertNone:
+		return core.RevertNone
+	}
+	panic(fmt.Sprintf("agilepaging: invalid revert policy %d", int(p)))
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Workload names one of the paper's eight evaluation workloads; see
+	// Workloads().
+	Workload string
+	// Technique and PageSize select the configuration (a Figure 5 bar).
+	Technique Technique
+	PageSize  PageSize
+
+	// Accesses is the number of measured steady-phase memory accesses
+	// (0 = 120000). Warmup overrides the pre-measurement warmup length
+	// (0 = half of Accesses; negative = none).
+	Accesses int
+	Warmup   int
+	// Seed makes the run reproducible (0 = 42).
+	Seed int64
+
+	// DisableMMUCaches removes the page walk caches and nested TLB,
+	// exposing architectural walk costs (paper Table VI's setting).
+	DisableMMUCaches bool
+	// HardwareAD enables the paper's §IV trap-free accessed/dirty-bit
+	// propagation.
+	HardwareAD bool
+	// CtxSwitchCacheEntries sizes the §IV context-switch pointer cache
+	// (0 = disabled).
+	CtxSwitchCacheEntries int
+	// Revert selects the agile Nested⇒Shadow policy.
+	Revert RevertPolicy
+	// DisableStartNested turns off the short-lived/small-process policy
+	// (§III-C) under which agile processes begin fully nested.
+	DisableStartNested bool
+	// SHSPBaseline replaces the agile manager with the prior-work SHSP
+	// controller (paper §VII.C): whole-process temporal switching between
+	// nested and shadow paging. Requires Technique == Agile (it uses the
+	// same mechanisms).
+	SHSPBaseline bool
+}
+
+// Result is the measurement record of one run.
+type Result struct {
+	Workload  string
+	Technique Technique
+	PageSize  PageSize
+
+	// Execution-time overhead relative to ideal (translation-free)
+	// execution, decomposed as in the paper's Figure 5.
+	WalkOverhead  float64
+	VMMOverhead   float64
+	TotalOverhead float64
+
+	// Raw counters.
+	Accesses       uint64
+	TLBMisses      uint64
+	WalkRefs       uint64
+	VMExits        uint64
+	GuestFaults    uint64
+	AvgRefsPerMiss float64
+	RefsP50        int
+	RefsP95        int
+	MPKI           float64
+
+	// Agile decision counters (zero unless Technique == Agile).
+	SwitchesToNested uint64
+	SwitchesToShadow uint64
+}
+
+// Workloads lists the available workload names (paper Table V).
+func Workloads() []string { return workload.Names() }
+
+// Run simulates one workload under one configuration.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workload == "" {
+		return Result{}, fmt.Errorf("agilepaging: no workload named; pick one of %v", Workloads())
+	}
+	o := experiments.DefaultOptions(cfg.Technique.mode(), cfg.PageSize.size())
+	if cfg.Accesses > 0 {
+		o.Accesses = cfg.Accesses
+	}
+	if cfg.Warmup != 0 {
+		o.Warmup = cfg.Warmup
+	}
+	if cfg.Seed != 0 {
+		o.Seed = cfg.Seed
+	}
+	o.DisablePWC = cfg.DisableMMUCaches
+	o.DisableNTLB = cfg.DisableMMUCaches
+	o.HardwareAD = cfg.HardwareAD
+	o.CtxSwitchCache = cfg.CtxSwitchCacheEntries
+	o.RevertPolicy = cfg.Revert.core()
+	o.AgileStartNested = !cfg.DisableStartNested
+	o.UseSHSP = cfg.SHSPBaseline
+	rep, err := experiments.RunProfile(cfg.Workload, o)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Workload:         cfg.Workload,
+		Technique:        cfg.Technique,
+		PageSize:         cfg.PageSize,
+		WalkOverhead:     rep.WalkOverhead(),
+		VMMOverhead:      rep.VMMOverhead(),
+		TotalOverhead:    rep.TotalOverhead(),
+		Accesses:         rep.Machine.Accesses,
+		TLBMisses:        rep.Machine.TLBMisses,
+		WalkRefs:         rep.Machine.WalkRefs,
+		VMExits:          rep.VMM.TotalTraps(),
+		GuestFaults:      rep.Machine.GuestPageFaults,
+		AvgRefsPerMiss:   rep.AvgRefsPerMiss(),
+		RefsP50:          rep.RefsP50,
+		RefsP95:          rep.RefsP95,
+		MPKI:             rep.MPKI(),
+		SwitchesToNested: rep.Agile.SwitchesToNested + rep.SHSP.ToNested,
+		SwitchesToShadow: rep.Agile.SwitchesToShadow + rep.SHSP.ToShadow,
+	}, nil
+}
+
+// Compare runs one workload under every technique at the given page size
+// and returns the results in Techniques() order.
+func Compare(workloadName string, ps PageSize, accesses int, seed int64) ([]Result, error) {
+	out := make([]Result, 0, 4)
+	for _, tech := range Techniques() {
+		r, err := Run(Config{
+			Workload: workloadName, Technique: tech, PageSize: ps,
+			Accesses: accesses, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

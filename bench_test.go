@@ -1,0 +1,302 @@
+package agilepaging
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index):
+//
+//	go test -bench BenchmarkTableI -benchmem        # Table I
+//	go test -bench BenchmarkTableII .               # Table II / Figure 3
+//	go test -bench BenchmarkFigure5 .               # Figure 5 (all 64 bars)
+//	go test -bench BenchmarkTableVI .               # Table VI
+//	go test -bench BenchmarkHeadline .              # §VII.A summary numbers
+//	go test -bench BenchmarkAblations .             # §III-C/§IV design choices
+//	go test -bench BenchmarkWalk .                  # per-walk hardware costs
+//
+// Each benchmark reports the paper's metric via b.ReportMetric so the
+// regenerated rows appear directly in benchmark output; cmd/paperbench
+// prints the same data as formatted tables.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"agilepaging/internal/experiments"
+	"agilepaging/internal/memsim"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/vmm"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+const (
+	benchAccesses = 120_000
+	benchSeed     = 42
+)
+
+// BenchmarkTableI regenerates paper Table I: per-technique walk cost and
+// page-table update cost.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.MaxRefs), r.Technique.String()+"_max_refs")
+				b.ReportMetric(r.UpdateCycles, r.Technique.String()+"_update_cycles")
+			}
+		}
+	}
+}
+
+// BenchmarkTableII regenerates paper Table II: memory references per walk
+// at each degree of nesting (4, 8, 12, 16, 20, 24).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for d, r := range rows {
+				b.ReportMetric(float64(r.Refs), fmt.Sprintf("degree%d_refs", d))
+			}
+		}
+	}
+}
+
+// figure5Cache shares one full sweep across the Figure 5 sub-benchmarks.
+var figure5Cache struct {
+	once sync.Once
+	res  *experiments.Figure5Result
+	err  error
+}
+
+func figure5(b *testing.B) *experiments.Figure5Result {
+	b.Helper()
+	figure5Cache.once.Do(func() {
+		figure5Cache.res, figure5Cache.err = experiments.Figure5(nil, benchAccesses, benchSeed)
+	})
+	if figure5Cache.err != nil {
+		b.Fatal(figure5Cache.err)
+	}
+	return figure5Cache.res
+}
+
+// BenchmarkFigure5 regenerates paper Figure 5: one sub-benchmark per bar
+// (workload × page size × technique), reporting the two overhead components
+// as percentages.
+func BenchmarkFigure5(b *testing.B) {
+	res := figure5(b)
+	for _, name := range workload.Names() {
+		for _, ps := range experiments.PageSizes {
+			for _, tech := range experiments.Techniques {
+				row, ok := res.Get(name, ps, tech)
+				if !ok {
+					b.Fatalf("missing row %s/%v/%v", name, ps, tech)
+				}
+				b.Run(fmt.Sprintf("%s/%s:%s", name, ps, tech), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						_ = row.TotalOv()
+					}
+					b.ReportMetric(100*row.WalkOv, "walk_ov_%")
+					b.ReportMetric(100*row.VMMOv, "vmm_ov_%")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkHeadline reports the §VII.A headline numbers derived from the
+// Figure 5 sweep: agile's geometric-mean improvement over the best
+// constituent and its slowdown versus native.
+func BenchmarkHeadline(b *testing.B) {
+	res := figure5(b)
+	var h experiments.HeadlineResult
+	for i := 0; i < b.N; i++ {
+		h = experiments.Headline(res)
+	}
+	b.ReportMetric(100*h.GeoAgileVsBest4K, "agile_vs_best_4K_%")
+	b.ReportMetric(100*h.GeoAgileVsNative4K, "agile_vs_native_4K_%")
+	b.ReportMetric(100*h.GeoAgileVsBest2M, "agile_vs_best_2M_%")
+	b.ReportMetric(100*h.GeoAgileVsNative2M, "agile_vs_native_2M_%")
+}
+
+// BenchmarkTableVI regenerates paper Table VI: the fraction of TLB misses
+// served in each agile mode (4K pages, no MMU caches) per workload.
+func BenchmarkTableVI(b *testing.B) {
+	var rows []experiments.TableVIRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.TableVI(nil, benchAccesses, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.Fractions[0], r.Workload+"_shadow_%")
+		b.ReportMetric(r.AvgRefs, r.Workload+"_avg_refs")
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablations (§III-C
+// policies and §IV hardware optimizations).
+func BenchmarkAblations(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Ablations(40_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*(r.WalkOv+r.VMMOv), metricName(r.Name)+"_total_%")
+	}
+}
+
+// metricName makes an ablation label usable as a benchmark metric unit
+// (no whitespace allowed).
+func metricName(s string) string {
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, ",", "_")
+	return s
+}
+
+// BenchmarkModelValidation runs the paper's two-step Table IV methodology
+// against direct simulation for one workload.
+func BenchmarkModelValidation(b *testing.B) {
+	var v experiments.ModelValidation
+	var err error
+	for i := 0; i < b.N; i++ {
+		v, err = experiments.ValidateModel("canneal", 60_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*v.DirectWalkOv, "direct_walk_%")
+	b.ReportMetric(100*v.ProjectedWalkOv, "projected_walk_%")
+}
+
+// walkBench builds a single-translation fixture and measures the raw
+// per-walk cost of one technique's state machine (no MMU caches).
+func walkBench(b *testing.B, technique walker.Mode, agileNestedLevels int, fullNested bool) {
+	mem := memsim.New(256 << 20)
+	vmCfg := vmm.DefaultConfig(walker.ModeAgile)
+	vmCfg.RAMBytes = 64 << 20
+	vm, err := vmm.New(mem, vmm.NopMMU{}, 1, vmCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := vm.NewProcess(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gva := uint64(0x7f12_3456_7000)
+	gpa, err := vm.AllocGPA(pagetable.Size4K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctx.GPT().Map(gva, gpa, pagetable.Size4K, pagetable.FlagWrite); err != nil {
+		b.Fatal(err)
+	}
+	switch {
+	case fullNested:
+		ctx.SetFullNested(true)
+	case agileNestedLevels > 0:
+		if _, err := ctx.HandleShadowFault(gva, false); err != nil {
+			b.Fatal(err)
+		}
+		nodeLevel := 4 - agileNestedLevels
+		var node uint64
+		if nodeLevel == 0 {
+			node = ctx.GPT().Root()
+		} else {
+			e, err := ctx.GPT().EntryAt(gva, nodeLevel-1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			node = e.Addr()
+		}
+		if err := ctx.PlantSwitch(node); err != nil {
+			b.Fatal(err)
+		}
+	default:
+		if _, err := ctx.HandleShadowFault(gva, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	regs := ctx.Regs()
+	regs.Mode = technique
+	if technique == walker.ModeNative {
+		regs.Root = ctx.SPT().Root()
+	}
+	w := walker.New(mem, nil, nil)
+	b.ResetTimer()
+	refs := 0
+	for i := 0; i < b.N; i++ {
+		res, fault := w.Walk(regs, gva, false)
+		if fault != nil {
+			b.Fatal(fault)
+		}
+		refs = res.Refs
+	}
+	b.ReportMetric(float64(refs), "mem_refs")
+}
+
+// BenchmarkWalk measures the simulator's raw per-walk cost for each state
+// machine, reporting the architectural reference count alongside.
+func BenchmarkWalk(b *testing.B) {
+	b.Run("native", func(b *testing.B) { walkBench(b, walker.ModeNative, 0, false) })
+	b.Run("shadow", func(b *testing.B) { walkBench(b, walker.ModeShadow, 0, false) })
+	b.Run("nested", func(b *testing.B) { walkBench(b, walker.ModeNested, 0, false) })
+	b.Run("agile-full-shadow", func(b *testing.B) { walkBench(b, walker.ModeAgile, 0, false) })
+	b.Run("agile-leaf-nested", func(b *testing.B) { walkBench(b, walker.ModeAgile, 1, false) })
+	b.Run("agile-full-nested", func(b *testing.B) { walkBench(b, walker.ModeAgile, 4, true) })
+}
+
+// BenchmarkSimulationThroughput measures end-to-end simulated accesses per
+// second for one representative configuration, for tracking simulator
+// performance itself.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	prof, _ := workload.ProfileByName("astar")
+	for i := 0; i < b.N; i++ {
+		o := experiments.DefaultOptions(walker.ModeAgile, pagetable.Size4K)
+		o.Accesses = 20_000
+		o.Warmup = -1
+		rep, err := runProfileForBench(prof.Name, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep == 0 {
+			b.Fatal("no accesses simulated")
+		}
+	}
+}
+
+func runProfileForBench(name string, o experiments.Options) (uint64, error) {
+	rep, err := experiments.RunProfile(name, o)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Machine.Accesses, nil
+}
+
+// BenchmarkSHSP regenerates the §VII.C comparison against selective
+// hardware/software paging.
+func BenchmarkSHSP(b *testing.B) {
+	var rows []experiments.SHSPRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.SHSPComparison([]string{"dedup", "mcf"}, 60_000, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(100*r.SHSP, r.Workload+"_shsp_%")
+		b.ReportMetric(100*r.Agile, r.Workload+"_agile_%")
+	}
+}

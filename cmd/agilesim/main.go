@@ -1,0 +1,145 @@
+// Command agilesim runs one workload under one memory-virtualization
+// configuration and prints the measurement report.
+//
+// Usage:
+//
+//	agilesim -workload dedup -technique agile -pagesize 4K
+//	agilesim -workload mcf -compare            # all four techniques
+//	agilesim -list                             # available workloads
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"agilepaging"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "dedup", "workload name (see -list)")
+		technique    = flag.String("technique", "agile", "native | nested | shadow | agile")
+		pageSize     = flag.String("pagesize", "4K", "4K | 2M")
+		accesses     = flag.Int("accesses", 120_000, "measured steady-phase accesses")
+		warmup       = flag.Int("warmup", 0, "warmup accesses (0 = accesses/2, -1 = none)")
+		seed         = flag.Int64("seed", 42, "random seed")
+		compare      = flag.Bool("compare", false, "run all four techniques and compare")
+		list         = flag.Bool("list", false, "list available workloads")
+		noCaches     = flag.Bool("no-mmu-caches", false, "disable page walk caches and nested TLB")
+		hwAD         = flag.Bool("hw-ad", false, "enable the §IV hardware A/D optimization")
+		ctxCache     = flag.Int("ctx-cache", 0, "entries in the §IV context-switch cache (0 = off)")
+		shsp         = flag.Bool("shsp", false, "use the SHSP prior-work baseline instead of the agile manager (technique must be agile)")
+		jsonOut      = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(agilepaging.Workloads(), "\n"))
+		return
+	}
+
+	tech, err := parseTechnique(*technique)
+	if err != nil {
+		fatal(err)
+	}
+	ps, err := parsePageSize(*pageSize)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		results, err := agilepaging.Compare(*workloadName, ps, *accesses, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printComparison(results)
+		return
+	}
+
+	res, err := agilepaging.Run(agilepaging.Config{
+		Workload:              *workloadName,
+		Technique:             tech,
+		PageSize:              ps,
+		Accesses:              *accesses,
+		Warmup:                *warmup,
+		Seed:                  *seed,
+		DisableMMUCaches:      *noCaches,
+		HardwareAD:            *hwAD,
+		CtxSwitchCacheEntries: *ctxCache,
+		SHSPBaseline:          *shsp,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printResult(res)
+}
+
+func parseTechnique(s string) (agilepaging.Technique, error) {
+	switch strings.ToLower(s) {
+	case "native", "base", "b":
+		return agilepaging.Native, nil
+	case "nested", "n":
+		return agilepaging.Nested, nil
+	case "shadow", "s":
+		return agilepaging.Shadow, nil
+	case "agile", "a":
+		return agilepaging.Agile, nil
+	}
+	return 0, fmt.Errorf("unknown technique %q (native|nested|shadow|agile)", s)
+}
+
+func parsePageSize(s string) (agilepaging.PageSize, error) {
+	switch strings.ToUpper(s) {
+	case "4K", "4KB":
+		return agilepaging.Page4K, nil
+	case "2M", "2MB":
+		return agilepaging.Page2M, nil
+	}
+	return 0, fmt.Errorf("unknown page size %q (4K|2M)", s)
+}
+
+func printResult(r agilepaging.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "workload\t%s\n", r.Workload)
+	fmt.Fprintf(w, "configuration\t%s pages, %s paging\n", r.PageSize, r.Technique)
+	fmt.Fprintf(w, "page-walk overhead\t%.1f%%\n", 100*r.WalkOverhead)
+	fmt.Fprintf(w, "VMM overhead\t%.1f%%\n", 100*r.VMMOverhead)
+	fmt.Fprintf(w, "total overhead\t%.1f%%\n", 100*r.TotalOverhead)
+	fmt.Fprintf(w, "accesses\t%d\n", r.Accesses)
+	fmt.Fprintf(w, "TLB misses\t%d (%.1f MPKI)\n", r.TLBMisses, r.MPKI)
+	fmt.Fprintf(w, "walk refs/miss\t%.2f (p50 %d, p95 %d)\n", r.AvgRefsPerMiss, r.RefsP50, r.RefsP95)
+	fmt.Fprintf(w, "VM exits\t%d\n", r.VMExits)
+	fmt.Fprintf(w, "guest page faults\t%d\n", r.GuestFaults)
+	if r.Technique == agilepaging.Agile {
+		fmt.Fprintf(w, "agile switches\t%d to nested, %d to shadow\n", r.SwitchesToNested, r.SwitchesToShadow)
+	}
+	w.Flush()
+}
+
+func printComparison(results []agilepaging.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "technique\twalk%\tvmm%\ttotal%\tmisses\trefs/miss\tvm-exits")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\t%d\n",
+			r.Technique, 100*r.WalkOverhead, 100*r.VMMOverhead, 100*r.TotalOverhead,
+			r.TLBMisses, r.AvgRefsPerMiss, r.VMExits)
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agilesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseTechnique(t *testing.T) {
+	cases := map[string]struct {
+		want agilepagingTechnique
+		ok   bool
+	}{}
+	_ = cases
+	for in, want := range map[string]string{
+		"native": "native", "B": "native", "nested": "nested", "n": "nested",
+		"Shadow": "shadow", "agile": "agile", "A": "agile",
+	} {
+		got, err := parseTechnique(in)
+		if err != nil {
+			t.Errorf("parseTechnique(%q): %v", in, err)
+			continue
+		}
+		if got.String() != want {
+			t.Errorf("parseTechnique(%q) = %v, want %s", in, got, want)
+		}
+	}
+	if _, err := parseTechnique("zen"); err == nil {
+		t.Error("bad technique accepted")
+	}
+}
+
+// agilepagingTechnique is a local alias to keep the test table readable.
+type agilepagingTechnique = interface{ String() string }
+
+func TestParsePageSize(t *testing.T) {
+	for in, want := range map[string]string{"4K": "4K", "4kb": "4K", "2M": "2M", "2mb": "2M"} {
+		got, err := parsePageSize(in)
+		if err != nil {
+			t.Errorf("parsePageSize(%q): %v", in, err)
+			continue
+		}
+		if got.String() != want {
+			t.Errorf("parsePageSize(%q) = %v", in, got)
+		}
+	}
+	if _, err := parsePageSize("1G"); err == nil {
+		t.Error("agilesim does not expose 1G; should reject")
+	}
+}

@@ -1,0 +1,202 @@
+// Command paperbench regenerates the tables and figures of "Agile Paging:
+// Exceeding the Best of Nested and Shadow Paging" (ISCA 2016) from the
+// simulator.
+//
+// Usage:
+//
+//	paperbench -all                  # everything
+//	paperbench -table 1              # Table I
+//	paperbench -table 2              # Table II (+ Figure 3 sequences)
+//	paperbench -table 6              # Table VI
+//	paperbench -figure 1             # Figure 1 walk traces
+//	paperbench -figure 5             # Figure 5 sweep + §VII.A headline
+//	paperbench -ablations            # §III-C / §IV design-choice ablations
+//	paperbench -validate canneal     # Table IV model vs direct simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"agilepaging/internal/experiments"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate table 1, 2, 3, 5, or 6")
+		figure    = flag.Int("figure", 0, "regenerate figure 1 or 5")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		shsp      = flag.Bool("shsp", false, "compare against the SHSP prior-work baseline (§VII.C)")
+		sens      = flag.Bool("sensitivity", false, "sweep the cost-model calibration and check robustness")
+		validate  = flag.String("validate", "", "validate the Table IV model on a workload")
+		all       = flag.Bool("all", false, "regenerate everything")
+		accesses  = flag.Int("accesses", 120_000, "measured accesses per run")
+		seed      = flag.Int64("seed", 42, "random seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		csvDir    = flag.String("csv", "", "also write figure5.csv / table6.csv into this directory")
+	)
+	flag.Parse()
+
+	var names []string
+	if *workloads != "" {
+		names = strings.Split(*workloads, ",")
+	}
+
+	ran := false
+	run := func(name string, fn func() error) {
+		ran = true
+		fmt.Printf("==> %s\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *all || *table == 1 {
+		run("Table I", func() error {
+			rows, err := experiments.TableI()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTableI(rows))
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		run("Table III (system configuration)", func() error {
+			fmt.Print(experiments.TableIII())
+			return nil
+		})
+	}
+	if *all || *table == 5 {
+		run("Table V (workload characteristics)", func() error {
+			rows, err := experiments.TableV(*accesses, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTableV(rows))
+			return nil
+		})
+	}
+	if *all || *table == 2 {
+		run("Table II / Figure 3", func() error {
+			rows, err := experiments.TableII()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTableII(rows))
+			return nil
+		})
+	}
+	if *all || *figure == 1 {
+		run("Figure 1 walk traces", func() error {
+			traces, err := experiments.WalkTraces()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatWalkTraces(traces))
+			return nil
+		})
+	}
+	if *all || *figure == 5 {
+		run("Figure 5 + headline", func() error {
+			res, err := experiments.Figure5(names, *accesses, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure5(res))
+			fmt.Println()
+			fmt.Print(experiments.FormatFigure5Chart(res))
+			fmt.Println()
+			fmt.Print(experiments.FormatHeadline(experiments.Headline(res)))
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, "figure5.csv"))
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteFigure5CSV(f, res); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", f.Name())
+			}
+			return nil
+		})
+	}
+	if *all || *table == 6 {
+		run("Table VI", func() error {
+			rows, err := experiments.TableVI(names, *accesses, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTableVI(rows))
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, "table6.csv"))
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteTableVICSV(f, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", f.Name())
+			}
+			return nil
+		})
+	}
+	if *all || *shsp {
+		run("SHSP comparison", func() error {
+			rows, err := experiments.SHSPComparison(names, *accesses, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSHSP(rows))
+			return nil
+		})
+	}
+	if *all || *sens {
+		run("Cost-model sensitivity", func() error {
+			rows, err := experiments.Sensitivity(*accesses, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSensitivity(rows))
+			return nil
+		})
+	}
+	if *all || *ablations {
+		run("Ablations", func() error {
+			rows, err := experiments.Ablations(*accesses/2, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatAblations(rows))
+			fmt.Println()
+			fmt.Print(experiments.FormatTrapCosts())
+			return nil
+		})
+	}
+	if *validate != "" || *all {
+		wl := *validate
+		if wl == "" {
+			wl = "canneal"
+		}
+		run("Table IV model validation ("+wl+")", func() error {
+			v, err := experiments.ValidateModel(wl, *accesses, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatModelValidation(v))
+			return nil
+		})
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

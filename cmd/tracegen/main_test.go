@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseHelpers(t *testing.T) {
+	for _, s := range []string{"native", "nested", "shadow", "agile"} {
+		if _, err := parseMode(s); err != nil {
+			t.Errorf("parseMode(%q): %v", s, err)
+		}
+	}
+	if _, err := parseMode("x"); err == nil {
+		t.Error("bad mode accepted")
+	}
+	for _, s := range []string{"4K", "2M"} {
+		if _, err := parseSize(s); err != nil {
+			t.Errorf("parseSize(%q): %v", s, err)
+		}
+	}
+	if _, err := parseSize("3M"); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestRecordReplayAnalyzeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ops := filepath.Join(dir, "ops.trace")
+	if err := doRecord(ops, "astar", "4K", 2000, 1); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if _, err := os.Stat(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := doReplay(ops, "shadow", "4K"); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	miss := filepath.Join(dir, "miss.trace")
+	if err := doMissLog(miss, "astar", "agile", "4K", 2000, 1); err != nil {
+		t.Fatalf("misslog: %v", err)
+	}
+	if err := doAnalyze(miss); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if err := doRecord(ops, "nope", "4K", 10, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

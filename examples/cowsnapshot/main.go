@@ -1,0 +1,67 @@
+// COW snapshot: reproduce the paper's copy-on-write example (§II-B, §V).
+//
+// Marking a page copy-on-write under shadow paging costs at least two VM
+// exits per page — one for the guest page-table write and one for the TLB
+// shootdown — and breaking the COW costs more. Nested paging does it all
+// with direct updates. Agile paging detects the page-table churn and moves
+// the affected subtree to nested mode, keeping fast TLB misses everywhere
+// else.
+//
+//	go run ./examples/cowsnapshot
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"agilepaging"
+)
+
+const (
+	base  = uint64(0x4000_0000)
+	pages = 256
+	size  = uint64(pages) << 12
+)
+
+// buildScenario models a process that snapshots its heap (fork, or a
+// storage engine checkpoint) and then writes through the whole snapshot.
+func buildScenario() *agilepaging.Scenario {
+	s := agilepaging.NewScenario()
+	s.Map(0, base, size, agilepaging.Page4K).Populate(0, base)
+	// Warm the translation state so snapshot costs are isolated.
+	s.TouchRange(0, base, size, agilepaging.Page4K)
+	s.TouchRange(0, base, size, agilepaging.Page4K)
+	// Snapshot, then write every page (breaking COW page by page), twice —
+	// the second round shows steady-state adaptation.
+	for round := 0; round < 2; round++ {
+		s.Snapshot(0, base)
+		s.WriteRange(0, base, size, agilepaging.Page4K)
+	}
+	return s
+}
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "technique\tVM exits\texits/page\tVMM overhead\ttotal overhead\n")
+	for _, tech := range agilepaging.Techniques() {
+		if tech == agilepaging.Native {
+			continue // COW costs identical to any unvirtualized OS
+		}
+		res, err := buildScenario().Run(agilepaging.ScenarioConfig{
+			Technique: tech,
+			PageSize:  agilepaging.Page4K,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.1f%%\t%.1f%%\n",
+			tech, res.VMExits, float64(res.VMExits)/(2*pages),
+			100*res.VMMOverhead, 100*res.TotalOverhead)
+	}
+	w.Flush()
+	fmt.Println("\nShadow paging pays >=2 VM exits per snapshotted page (paper §II-B);")
+	fmt.Println("agile paging converts the churning subtree to nested mode and keeps")
+	fmt.Println("direct updates (paper §V, \"Content-Based Page Sharing\").")
+}

@@ -1,0 +1,3 @@
+module agilepaging
+
+go 1.22

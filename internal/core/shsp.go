@@ -1,0 +1,175 @@
+package core
+
+import (
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/vmm"
+)
+
+// SHSPConfig parameterizes selective hardware/software paging.
+type SHSPConfig struct {
+	// IntervalCycles is the monitoring period after which the mode
+	// decision is reconsidered (SHSP uses periodic sampling).
+	IntervalCycles uint64
+	// SwitchMargin is the hysteresis factor: switch modes only when the
+	// other mode's (remembered or predicted) overhead is below the current
+	// mode's by this factor.
+	SwitchMargin float64
+	// Smoothing is the EWMA weight given to the newest observation.
+	Smoothing float64
+	// WalkRatio predicts shadow walk overhead from nested walk overhead
+	// (a shadow walk costs roughly half a nested walk's cycles).
+	WalkRatio float64
+	// FaultCostFactor predicts shadow's VMM overhead from the guest
+	// page-fault rate: overhead ≈ faults/access × factor (two-plus VM
+	// exits of thousands of cycles per fault versus tens of cycles per
+	// access). SHSP monitors exactly these two signals — TLB misses and
+	// guest page faults (paper §I).
+	FaultCostFactor float64
+}
+
+// DefaultSHSP returns parameters in the spirit of the SHSP paper's
+// miss/fault cost balancing: sample each mode, remember its cost, and run
+// whichever is cheaper with hysteresis against oscillation.
+func DefaultSHSP() SHSPConfig {
+	return SHSPConfig{
+		IntervalCycles:  2_000_000,
+		SwitchMargin:    0.8,
+		Smoothing:       0.5,
+		WalkRatio:       0.5,
+		FaultCostFactor: 110,
+	}
+}
+
+// SHSPStats counts SHSP decisions.
+type SHSPStats struct {
+	ToShadow uint64 // whole-process switches nested ⇒ shadow
+	ToNested uint64 // whole-process switches shadow ⇒ nested
+	Rebuilds uint64 // shadow-table rebuilds triggered by switching to shadow
+}
+
+// SHSP implements the paper's prior-work comparison point, selective
+// hardware/software paging (Wang et al., VEE 2011; paper §I, §VII.C): the
+// VMM monitors TLB misses and VMM interventions and periodically switches
+// the *entire* guest process between nested and shadow paging. It is a
+// temporal-only policy — the paper's criticism is that switching to shadow
+// mode requires (re)building the entire shadow page table, and that a
+// single mode must fit the whole address space.
+//
+// SHSP runs on the same VMM mechanisms as agile paging: "all nested" is
+// the context's full-nested state; "all shadow" is agile mode with no
+// switching bits planted. It never uses partial (spatial) switching.
+type SHSP struct {
+	ctx *vmm.Context
+	cfg SHSPConfig
+
+	intervalStart uint64
+	// Remembered per-mode translation overhead (EWMA); negative = untried.
+	nestedScore float64
+	shadowScore float64
+	// faultEWMA smooths the bursty guest page-fault rate; samples counts
+	// observation intervals so the first decision waits for a stable
+	// picture of the workload.
+	faultEWMA float64
+	samples   int
+	stats     SHSPStats
+}
+
+// NewSHSP attaches an SHSP controller to a context (which must have a
+// shadow table). The process starts in nested mode, as SHSP recommends for
+// unknown processes.
+func NewSHSP(ctx *vmm.Context, cfg SHSPConfig) (*SHSP, error) {
+	if ctx.SPT() == nil {
+		return nil, vmm.ErrNotShadowed
+	}
+	if cfg.IntervalCycles == 0 {
+		cfg = DefaultSHSP()
+	}
+	s := &SHSP{ctx: ctx, cfg: cfg, nestedScore: -1, shadowScore: -1}
+	ctx.SetFullNested(true)
+	return s, nil
+}
+
+// Stats returns the decision counters.
+func (s *SHSP) Stats() SHSPStats { return s.stats }
+
+// InShadow reports whether the process currently runs under shadow paging.
+func (s *SHSP) InShadow() bool { return !s.ctx.FullNested() }
+
+// Tick reconsiders the mode. missOverhead and trapOverhead are the
+// fractions of recent cycles spent on TLB misses and on VMM interventions,
+// and faultRate the guest page faults per access — the counters SHSP
+// monitors ("It monitored TLB misses and guest page faults to periodically
+// consider switching to the best mode", paper §I). The controller compares
+// the current mode's observed overhead against the other mode's remembered
+// or predicted overhead, with hysteresis against oscillation.
+func (s *SHSP) Tick(now uint64, missOverhead, trapOverhead, faultRate float64) {
+	if now-s.intervalStart < s.cfg.IntervalCycles {
+		return
+	}
+	s.intervalStart = now
+	cur := missOverhead + trapOverhead
+	inShadow := s.InShadow()
+	score := &s.nestedScore
+	if inShadow {
+		score = &s.shadowScore
+	}
+	if *score < 0 {
+		*score = cur
+	} else {
+		*score = s.cfg.Smoothing*cur + (1-s.cfg.Smoothing)*(*score)
+	}
+	s.faultEWMA = s.cfg.Smoothing*faultRate + (1-s.cfg.Smoothing)*s.faultEWMA
+	s.samples++
+	if s.samples < 3 {
+		return // wait for a stable picture before the first decision
+	}
+	if inShadow {
+		// Nested was the starting mode, so its cost is always remembered.
+		if s.nestedScore >= 0 && s.nestedScore < *score*s.cfg.SwitchMargin {
+			s.switchMode(false)
+		}
+		return
+	}
+	// Predict shadow's cost from the monitored counters: native-speed
+	// walks, but every guest page fault implies VMM interventions.
+	est := s.shadowScore
+	if est < 0 {
+		est = missOverhead*s.cfg.WalkRatio + s.faultEWMA*s.cfg.FaultCostFactor
+	}
+	if est < cur*s.cfg.SwitchMargin {
+		s.switchMode(true)
+	}
+}
+
+// switchMode moves the whole process to shadow (toShadow) or nested mode.
+func (s *SHSP) switchMode(toShadow bool) {
+	if toShadow {
+		// Moving to shadow paging rebuilds the shadow table from scratch:
+		// every entry must be re-merged on demand — the cost the paper's
+		// Section I calls "expensive for multi-GB to TB workloads".
+		s.ctx.SetFullNested(false)
+		s.rebuildShadow()
+		s.stats.ToShadow++
+		return
+	}
+	s.ctx.SetFullNested(true)
+	s.stats.ToNested++
+}
+
+// rebuildShadow drops all shadow state so the table rebuilds on demand
+// (charging the hidden-fault VM exits that constitute SHSP's switching
+// cost).
+func (s *SHSP) rebuildShadow() {
+	s.stats.Rebuilds++
+	spt := s.ctx.SPT()
+	var leaves []pagetable.Leaf
+	spt.VisitLeaves(func(l pagetable.Leaf) bool {
+		leaves = append(leaves, l)
+		return true
+	})
+	for _, l := range leaves {
+		_ = spt.SetEntryAt(l.VA, l.Size.LeafLevel(), 0)
+	}
+	spt.FreeEmpty()
+	s.ctx.FlushHW()
+}

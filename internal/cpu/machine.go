@@ -1,0 +1,658 @@
+// Package cpu assembles the full simulated machine: physical memory, the
+// TLB hierarchy, page walk caches, the hardware walker, the guest OS, and —
+// for virtualized configurations — the VMM and the agile paging manager.
+// It executes workload op streams and produces the cycle accounting that
+// the paper's evaluation (Figure 5) is built from.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"agilepaging/internal/core"
+	"agilepaging/internal/guest"
+	"agilepaging/internal/memsim"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/ptwc"
+	"agilepaging/internal/stats"
+	"agilepaging/internal/tlb"
+	"agilepaging/internal/vmm"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// Config describes one machine configuration — a column of the paper's
+// Figure 5 (technique × page size), plus the structural knobs the
+// experiments vary.
+type Config struct {
+	// Technique selects base native, nested, shadow, or agile paging.
+	Technique walker.Mode
+	// PageSize is the page-size policy used by the guest OS and, in
+	// virtualized configurations, by the VMM's host table (the paper uses
+	// the same size at both levels, §VI).
+	PageSize pagetable.Size
+
+	// MemBytes sizes host physical memory; GuestRAMBytes the VM.
+	MemBytes      uint64
+	GuestRAMBytes uint64
+
+	// TLB geometry; TLBScale shrinks it to match scaled-down footprints.
+	TLB      tlb.Config
+	TLBScale int
+
+	// EnablePWC/EnableNTLB toggle the MMU caches (Table VI runs without).
+	EnablePWC   bool
+	PWC         ptwc.Config
+	EnableNTLB  bool
+	NTLBEntries int
+
+	// Cycle model: AccessCycles is the ideal cost of one access op;
+	// MemRefCycles the cost of one page-walk memory reference to native,
+	// guest, or shadow tables; HostRefCycles the (lower) cost of host-table
+	// references, which are few, hot, and mostly served by the data caches
+	// on real hardware (paper §II-A's caching discussion).
+	AccessCycles  uint64
+	MemRefCycles  uint64
+	HostRefCycles uint64
+
+	// Virtualization options (paper §IV hardware optimizations included).
+	HardwareAD     bool
+	CtxSwitchCache int
+	TrapCosts      vmm.CostModel
+	Agile          core.PolicyConfig
+	PolicyTickOps  int
+
+	// Cores is the number of simulated CPU cores. Each core has private
+	// TLBs, page walk caches and a nested TLB (as real parts do); the VMM,
+	// guest OS and physical memory are shared, and TLB shootdowns broadcast
+	// to every core. Cores interleave on one simulated timeline — the model
+	// captures per-core translation state and shared-VMM costs, not
+	// parallel throughput. 0 or 1 = uniprocessor.
+	Cores int
+
+	// UseSHSP replaces the agile manager with the prior-work baseline of
+	// paper §VII.C: selective hardware/software paging, which switches the
+	// whole process between nested and shadow mode (requires Technique ==
+	// walker.ModeAgile for the underlying mechanisms).
+	UseSHSP bool
+	SHSP    core.SHSPConfig
+}
+
+// DefaultConfig returns the baseline machine for a technique and page size:
+// Sandy-Bridge TLBs scaled 8× down (footprints are ~1000× down; the scale
+// keeps miss ratios in the published band), MMU caches on, no optional
+// hardware optimizations.
+func DefaultConfig(technique walker.Mode, pageSize pagetable.Size) Config {
+	return Config{
+		Technique:     technique,
+		PageSize:      pageSize,
+		MemBytes:      8 << 30,
+		GuestRAMBytes: 4 << 30,
+		TLB:           tlb.SandyBridgeConfig(),
+		TLBScale:      8,
+		EnablePWC:     true,
+		PWC:           ptwc.DefaultConfig(),
+		EnableNTLB:    true,
+		NTLBEntries:   32,
+		AccessCycles:  50,
+		MemRefCycles:  40,
+		HostRefCycles: 10,
+		TrapCosts:     vmm.DefaultCostModel(),
+		Agile:         core.DefaultPolicy(),
+		PolicyTickOps: 5_000,
+	}
+}
+
+// Stats accumulates machine-level counters.
+type Stats struct {
+	Accesses    uint64
+	Writes      uint64
+	TLBMisses   uint64
+	WalkRefs    uint64
+	IdealCycles uint64
+	WalkCycles  uint64
+
+	GuestPageFaults uint64 // faults delivered to the guest OS
+	WriteProtFaults uint64 // write-permission upgrades (dirty/COW paths)
+	CtxSwitches     uint64
+}
+
+// coreState is the translation state private to one CPU core.
+type coreState struct {
+	tlbs   *tlb.Hierarchy
+	pwc    *ptwc.PWC
+	ntlb   *ptwc.NestedTLB
+	walker *walker.Walker
+	regs   walker.Regs
+	cur    *guest.Process
+}
+
+// Machine is the assembled simulator.
+type Machine struct {
+	cfg Config
+
+	Mem *memsim.Memory
+	// TLBs, PWC, NTLB and Walker alias core 0's structures for convenience
+	// (most experiments are uniprocessor).
+	TLBs   *tlb.Hierarchy
+	PWC    *ptwc.PWC
+	NTLB   *ptwc.NestedTLB
+	Walker *walker.Walker
+	OS     *guest.OS
+	VM     *vmm.VM // nil for base native
+
+	cores []*coreState
+
+	managers map[uint16]*core.Manager
+	shsp     map[uint16]*core.SHSP
+
+	clock    uint64
+	stats    Stats
+	refsHist *stats.Hist // completed-walk memory references per TLB miss
+	missObs  func(va uint64, res walker.Result)
+
+	// Policy-tick window for TLB-miss-overhead estimation.
+	sinceTickAccesses  uint64
+	sinceTickIdeal     uint64
+	sinceTickWalk      uint64
+	lastTickTrapCycles uint64
+	lastTickFaults     uint64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if cfg.PolicyTickOps <= 0 {
+		cfg.PolicyTickOps = 20_000
+	}
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	m := &Machine{
+		cfg:      cfg,
+		Mem:      memsim.New(cfg.MemBytes),
+		managers: make(map[uint16]*core.Manager),
+		shsp:     make(map[uint16]*core.SHSP),
+		refsHist: stats.NewHist(25),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &coreState{tlbs: tlb.NewHierarchy(cfg.TLB.Scaled(cfg.TLBScale))}
+		if cfg.EnablePWC {
+			c.pwc = ptwc.New(cfg.PWC)
+		}
+		if cfg.EnableNTLB && cfg.Technique != walker.ModeNative {
+			entries := cfg.NTLBEntries
+			if entries <= 0 {
+				entries = 32
+			}
+			c.ntlb = ptwc.NewNestedTLB(entries, 4)
+		}
+		c.walker = walker.New(m.Mem, c.pwc, c.ntlb)
+		m.cores = append(m.cores, c)
+	}
+	m.TLBs = m.cores[0].tlbs
+	m.PWC = m.cores[0].pwc
+	m.NTLB = m.cores[0].ntlb
+	m.Walker = m.cores[0].walker
+
+	if cfg.Technique == walker.ModeNative {
+		m.OS = guest.New(nativePlatform{m})
+		return m, nil
+	}
+	vmCfg := vmm.Config{
+		Technique:             cfg.Technique,
+		RAMBytes:              cfg.GuestRAMBytes,
+		HostPageSize:          cfg.PageSize,
+		HardwareAD:            cfg.HardwareAD,
+		CtxSwitchCacheEntries: cfg.CtxSwitchCache,
+		Costs:                 cfg.TrapCosts,
+	}
+	vm, err := vmm.New(m.Mem, (*machineMMU)(m), 1, vmCfg)
+	if err != nil {
+		return nil, err
+	}
+	m.VM = vm
+	m.OS = guest.New(virtPlatform{m})
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Clock returns the simulated cycle count.
+func (m *Machine) Clock() uint64 { return m.clock }
+
+// Stats returns machine counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Managers returns the agile managers by ASID (empty unless agile).
+func (m *Machine) Managers() map[uint16]*core.Manager { return m.managers }
+
+// SHSPControllers returns the SHSP controllers by ASID (empty unless the
+// SHSP baseline is enabled).
+func (m *Machine) SHSPControllers() map[uint16]*core.SHSP { return m.shsp }
+
+// SetMissObserver installs a callback invoked on every completed TLB-miss
+// walk — the analog of the paper's BadgerTrap instrumentation (§VI step 2).
+func (m *Machine) SetMissObserver(fn func(va uint64, res walker.Result)) { m.missObs = fn }
+
+// ResetMeasurement zeroes every statistics counter while leaving all
+// architectural and policy state (TLB contents, shadow tables, mode
+// decisions) intact. Experiments call it after warmup so measurements
+// reflect steady-state behaviour, as the paper's to-completion runs do.
+func (m *Machine) ResetMeasurement() {
+	m.stats = Stats{}
+	for _, c := range m.cores {
+		c.tlbs.ResetStats()
+		c.walker.ResetStats()
+		if c.pwc != nil {
+			c.pwc.ResetStats()
+		}
+		if c.ntlb != nil {
+			c.ntlb.ResetStats()
+		}
+	}
+	if m.VM != nil {
+		m.VM.ResetStats()
+	}
+	m.OS.ResetStats()
+	m.sinceTickAccesses, m.sinceTickIdeal, m.sinceTickWalk = 0, 0, 0
+	m.lastTickTrapCycles = 0
+	m.lastTickFaults = 0
+	m.refsHist.Reset()
+}
+
+// Regs exposes core 0's current hardware register state (for experiments).
+func (m *Machine) Regs() walker.Regs { return m.cores[0].regs }
+
+// Cores reports the number of simulated CPU cores.
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// RefsHist exposes the per-miss memory-reference histogram.
+func (m *Machine) RefsHist() *stats.Hist { return m.refsHist }
+
+// asidFor maps a PID to its hardware ASID (0 is reserved).
+func asidFor(pid int) uint16 { return uint16(pid + 1) }
+
+// Run executes the generator's op stream to completion.
+func (m *Machine) Run(gen workload.Generator) error {
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			return nil
+		}
+		if err := m.Exec(op); err != nil {
+			return fmt.Errorf("op %v pid=%d va=%#x: %w", op.Kind, op.PID, op.VA, err)
+		}
+	}
+}
+
+// coreFor resolves an op's core index.
+func (m *Machine) coreFor(op workload.Op) int {
+	c := op.Core
+	if c < 0 || c >= len(m.cores) {
+		c = 0
+	}
+	return c
+}
+
+// Exec executes one op.
+func (m *Machine) Exec(op workload.Op) error {
+	switch op.Kind {
+	case workload.OpCreateProcess:
+		_, err := m.OS.CreateProcess(op.PID, asidFor(op.PID))
+		return err
+	case workload.OpCtxSwitch:
+		return m.ContextSwitchOn(m.coreFor(op), op.PID)
+	case workload.OpMmap:
+		_, err := m.OS.Mmap(op.PID, op.VA, op.Len, op.Size, true)
+		return err
+	case workload.OpPopulate:
+		return m.OS.Populate(op.PID, op.VA)
+	case workload.OpMunmap:
+		return m.OS.Munmap(op.PID, op.VA)
+	case workload.OpMarkCOW:
+		return m.OS.MarkCOW(op.PID, op.VA)
+	case workload.OpAccess:
+		return m.accessOn(m.coreFor(op), op.VA, op.Write, op.Fetch)
+	case workload.OpReclaim:
+		_, err := m.OS.ReclaimScan(op.PID, op.N)
+		return err
+	case workload.OpCollapse:
+		return m.OS.Collapse(op.PID, op.VA)
+	}
+	return fmt.Errorf("cpu: unknown op kind %v", op.Kind)
+}
+
+// ContextSwitch schedules pid on core 0 (uniprocessor convenience).
+func (m *Machine) ContextSwitch(pid int) error { return m.ContextSwitchOn(0, pid) }
+
+// ContextSwitchOn schedules pid on the given core: the guest OS switches
+// and the CR3 write is handled natively or by the VMM.
+func (m *Machine) ContextSwitchOn(coreIdx, pid int) error {
+	p, err := m.OS.ContextSwitch(pid)
+	if err != nil {
+		return err
+	}
+	c := m.cores[coreIdx]
+	m.stats.CtxSwitches++
+	c.cur = p
+	if m.VM == nil {
+		c.regs = walker.Regs{Mode: walker.ModeNative, Root: p.PT.Root(), ASID: p.ASID}
+		return nil
+	}
+	regs, err := m.VM.ContextSwitch(p.ASID)
+	if err != nil {
+		return err
+	}
+	c.regs = regs
+	return nil
+}
+
+// errNoProcess guards accesses before any context is installed.
+var errNoProcess = errors.New("cpu: no process scheduled")
+
+// Access performs one load or store on core 0 (uniprocessor convenience).
+func (m *Machine) Access(va uint64, write bool) error { return m.accessOn(0, va, write, false) }
+
+// AccessOn performs one load or store at va on the given core.
+func (m *Machine) AccessOn(coreIdx int, va uint64, write bool) error {
+	return m.accessOn(coreIdx, va, write, false)
+}
+
+// Fetch performs one instruction fetch at va on the given core, translated
+// by the instruction-side TLBs.
+func (m *Machine) Fetch(coreIdx int, va uint64) error {
+	return m.accessOn(coreIdx, va, false, true)
+}
+
+// accessOn performs one load, store, or fetch at va in the core's current
+// process, exercising the full translation path: TLB, hardware walk, fault
+// servicing, permission upgrades, and retry.
+func (m *Machine) accessOn(coreIdx int, va uint64, write, fetch bool) error {
+	c := m.cores[coreIdx]
+	cur := c.cur
+	if cur == nil || c.regs.ASID == 0 {
+		return errNoProcess
+	}
+	m.stats.Accesses++
+	if write {
+		m.stats.Writes++
+	}
+	m.charge(&m.stats.IdealCycles, &m.sinceTickIdeal, m.cfg.AccessCycles)
+
+	defer m.policyTick()
+
+	for attempt := 0; attempt < 32; attempt++ {
+		if r, ok := c.tlbs.Lookup(c.regs.ASID, va, fetch); ok {
+			if write && !r.Flags.Writable() {
+				if err := m.writeProtFault(c, cur, va); err != nil {
+					return err
+				}
+				continue
+			}
+			return nil
+		}
+		m.stats.TLBMisses++
+		res, fault := c.walker.Walk(c.regs, va, write)
+		if fault == nil {
+			m.chargeWalk(res.Refs, res.HostRefs)
+			m.refsHist.Add(res.Refs)
+			if m.missObs != nil {
+				m.missObs(va, res)
+			}
+			c.tlbs.Insert(c.regs.ASID, va, res.Size, res.HPA&^res.Size.Mask(), res.Flags, fetch)
+			if write && !res.Flags.Writable() {
+				if err := m.writeProtFault(c, cur, va); err != nil {
+					return err
+				}
+			}
+			continue // re-probe the TLB (entry may have been upgraded)
+		}
+		m.chargeWalk(fault.Refs, fault.HostRefs)
+		if err := m.handleFault(c, cur, va, write, fault); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("cpu: access %#x did not converge", va)
+}
+
+// handleFault dispatches a hardware walk fault to its handler.
+func (m *Machine) handleFault(c *coreState, cur *guest.Process, va uint64, write bool, fault *walker.Fault) error {
+	switch fault.Kind {
+	case walker.FaultNotPresent:
+		if m.VM == nil {
+			m.stats.GuestPageFaults++
+			return m.OS.HandlePageFault(cur.PID, va, write)
+		}
+		ctx, ok := m.VM.Context(cur.ASID)
+		if !ok {
+			return fmt.Errorf("cpu: no VMM context for asid %d", cur.ASID)
+		}
+		out, err := ctx.HandleShadowFault(va, write)
+		if err != nil {
+			return err
+		}
+		c.regs = ctx.Regs() // fill may have planted a root switch
+		if out == vmm.OutcomeGuestFault {
+			m.stats.GuestPageFaults++
+			return m.OS.HandlePageFault(cur.PID, va, write)
+		}
+		return nil
+	case walker.FaultGuest:
+		m.stats.GuestPageFaults++
+		return m.OS.HandlePageFault(cur.PID, va, write)
+	case walker.FaultHost:
+		return m.VM.HandleHostFault(fault.GPA, write)
+	}
+	return fmt.Errorf("cpu: unknown fault %v", fault.Kind)
+}
+
+// writeProtFault upgrades write permission at va: dirty-bit tracking or COW.
+func (m *Machine) writeProtFault(c *coreState, cur *guest.Process, va uint64) error {
+	m.stats.WriteProtFaults++
+	if m.VM == nil {
+		m.invalidateAllCores(c.regs.ASID, va)
+		m.stats.GuestPageFaults++
+		return m.OS.HandlePageFault(cur.PID, va, true)
+	}
+	ctx, ok := m.VM.Context(cur.ASID)
+	if !ok {
+		return fmt.Errorf("cpu: no VMM context for asid %d", cur.ASID)
+	}
+	resolved, err := ctx.HandleWriteProtect(va)
+	if err != nil {
+		return err
+	}
+	if !resolved {
+		m.invalidateAllCores(c.regs.ASID, va)
+		m.stats.GuestPageFaults++
+		return m.OS.HandlePageFault(cur.PID, va, true)
+	}
+	return nil
+}
+
+// invalidateAllCores performs a TLB shootdown of va across every core.
+func (m *Machine) invalidateAllCores(asid uint16, va uint64) {
+	for _, c := range m.cores {
+		c.tlbs.InvalidatePage(asid, va)
+	}
+}
+
+func (m *Machine) charge(total *uint64, window *uint64, cycles uint64) {
+	*total += cycles
+	*window += cycles
+	m.clock += cycles
+}
+
+func (m *Machine) chargeWalk(refs, hostRefs int) {
+	m.stats.WalkRefs += uint64(refs)
+	cycles := uint64(refs-hostRefs)*m.cfg.MemRefCycles + uint64(hostRefs)*m.cfg.HostRefCycles
+	m.charge(&m.stats.WalkCycles, &m.sinceTickWalk, cycles)
+}
+
+// policyTick drives the agile managers with the observed TLB-miss overhead
+// of the recent window (the paper's performance-counter feedback, §III-C).
+func (m *Machine) policyTick() {
+	m.sinceTickAccesses++
+	if m.sinceTickAccesses < uint64(m.cfg.PolicyTickOps) {
+		return
+	}
+	var trapDelta uint64
+	if m.VM != nil {
+		cur := m.VM.Stats().TrapCycles
+		trapDelta = cur - m.lastTickTrapCycles
+		m.lastTickTrapCycles = cur
+	}
+	missOverhead := 0.0
+	trapOverhead := 0.0
+	if denom := m.sinceTickIdeal + m.sinceTickWalk + trapDelta; denom > 0 {
+		missOverhead = float64(m.sinceTickWalk) / float64(denom)
+		trapOverhead = float64(trapDelta) / float64(denom)
+	}
+	for _, mgr := range m.managers {
+		mgr.Tick(m.clock, missOverhead)
+	}
+	faultRate := 0.0
+	if m.sinceTickAccesses > 0 {
+		faultRate = float64(m.stats.GuestPageFaults-m.lastTickFaults) / float64(m.sinceTickAccesses)
+	}
+	m.lastTickFaults = m.stats.GuestPageFaults
+	for _, ctl := range m.shsp {
+		ctl.Tick(m.clock, missOverhead, trapOverhead, faultRate)
+	}
+	if m.VM != nil {
+		for _, c := range m.cores {
+			if ctx, ok := m.VM.Context(c.regs.ASID); ok {
+				c.regs = ctx.Regs() // policies may have changed mode state
+			}
+		}
+	}
+	m.sinceTickAccesses = 0
+	m.sinceTickIdeal = 0
+	m.sinceTickWalk = 0
+}
+
+// machineMMU implements vmm.MMU over the machine's hardware structures.
+type machineMMU Machine
+
+func (mm *machineMMU) InvalidatePage(asid uint16, gva uint64) {
+	for _, c := range mm.cores {
+		c.tlbs.InvalidatePage(asid, gva)
+	}
+}
+
+func (mm *machineMMU) FlushASID(asid uint16) {
+	for _, c := range mm.cores {
+		c.tlbs.FlushASID(asid)
+	}
+}
+
+func (mm *machineMMU) PWCInvalidateVA(asid uint16, gva uint64) {
+	for _, c := range mm.cores {
+		if c.pwc != nil {
+			c.pwc.InvalidateVA(asid, gva)
+		}
+	}
+}
+
+func (mm *machineMMU) PWCFlushASID(asid uint16) {
+	for _, c := range mm.cores {
+		if c.pwc != nil {
+			c.pwc.FlushASID(asid)
+		}
+	}
+}
+
+func (mm *machineMMU) NTLBInvalidateGPA(vmid uint16, gpa uint64) {
+	for _, c := range mm.cores {
+		if c.ntlb != nil {
+			c.ntlb.InvalidateGPA(vmid, gpa)
+		}
+	}
+}
+
+// nativePlatform implements guest.Platform for the unvirtualized machine.
+type nativePlatform struct{ m *Machine }
+
+func (p nativePlatform) NewProcessTable(asid uint16) (*pagetable.Table, error) {
+	return pagetable.New(p.m.Mem, pagetable.HostSpace{Mem: p.m.Mem})
+}
+
+func (p nativePlatform) AllocPage(size pagetable.Size) (uint64, error) {
+	n := int(size.Bytes() / memsim.FrameSize)
+	f, err := p.m.Mem.AllocContiguousAligned(n, n)
+	if err != nil {
+		return 0, err
+	}
+	return f.Addr(), nil
+}
+
+func (p nativePlatform) FreePage(pa uint64, size pagetable.Size) {
+	for off := uint64(0); off < size.Bytes(); off += memsim.FrameSize {
+		_ = p.m.Mem.FreeFrame(memsim.FrameOf(pa + off))
+	}
+}
+
+func (p nativePlatform) TLBInvalidate(asid uint16, va uint64) {
+	for _, c := range p.m.cores {
+		c.tlbs.InvalidatePage(asid, va)
+		if c.pwc != nil {
+			c.pwc.InvalidateVA(asid, va)
+		}
+	}
+}
+
+func (p nativePlatform) TLBFlush(asid uint16) {
+	for _, c := range p.m.cores {
+		c.tlbs.FlushASID(asid)
+		if c.pwc != nil {
+			c.pwc.FlushASID(asid)
+		}
+	}
+}
+
+// virtPlatform implements guest.Platform inside the VM.
+type virtPlatform struct{ m *Machine }
+
+func (p virtPlatform) NewProcessTable(asid uint16) (*pagetable.Table, error) {
+	ctx, err := p.m.VM.NewProcess(asid)
+	if err != nil {
+		return nil, err
+	}
+	if p.m.cfg.Technique == walker.ModeAgile {
+		if p.m.cfg.UseSHSP {
+			ctl, err := core.NewSHSP(ctx, p.m.cfg.SHSP)
+			if err != nil {
+				return nil, err
+			}
+			p.m.shsp[asid] = ctl
+		} else {
+			mgr, err := core.NewManager(ctx, p.m.cfg.Agile)
+			if err != nil {
+				return nil, err
+			}
+			p.m.managers[asid] = mgr
+		}
+	}
+	return ctx.GPT(), nil
+}
+
+func (p virtPlatform) AllocPage(size pagetable.Size) (uint64, error) {
+	return p.m.VM.AllocGPA(size)
+}
+
+func (p virtPlatform) FreePage(pa uint64, size pagetable.Size) {
+	p.m.VM.FreeGPA(pa, size)
+}
+
+func (p virtPlatform) TLBInvalidate(asid uint16, va uint64) {
+	if ctx, ok := p.m.VM.Context(asid); ok {
+		ctx.GuestTLBFlush(va, false)
+	}
+}
+
+func (p virtPlatform) TLBFlush(asid uint16) {
+	if ctx, ok := p.m.VM.Context(asid); ok {
+		ctx.GuestTLBFlush(0, true)
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"agilepaging/internal/core"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/vmm"
+	"agilepaging/internal/walker"
+)
+
+// AblationRow reports one design-choice ablation.
+type AblationRow struct {
+	Name     string
+	Workload string
+	WalkOv   float64
+	VMMOv    float64
+	Traps    uint64
+	Notes    string
+}
+
+// Ablations quantifies the paper's individual design choices:
+//
+//   - the §IV hardware A/D optimization (trap-free dirty tracking)
+//   - the §IV context-switch pointer cache
+//   - the two nested⇒shadow revert policies of §III-C against no revert
+//   - the MMU caches (PWC + nested TLB) the walk costs assume
+func Ablations(accesses int, seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+	add := func(name, wl string, o Options, notes string) error {
+		o.Accesses = accesses
+		o.Seed = seed
+		rep, err := RunProfile(wl, o)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Workload: wl,
+			WalkOv: rep.WalkOverhead(), VMMOv: rep.VMMOverhead(),
+			Traps: rep.VMM.TotalTraps(), Notes: notes,
+		})
+		return nil
+	}
+
+	// The §IV hardware A/D optimization: a read-then-write microbenchmark
+	// maximizes dirty-tracking traps (every page is first shadowed clean,
+	// then written).
+	addAD := func(name string, o Options, notes string) error {
+		o.Accesses = accesses
+		o.Seed = seed
+		rep, _, err := RunOps(name, readThenWriteOps(512), o)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Workload: "read-then-write µbench",
+			WalkOv: rep.WalkOverhead(), VMMOv: rep.VMMOverhead(),
+			Traps: rep.VMM.TotalTraps(), Notes: notes,
+		})
+		return nil
+	}
+	base := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
+	base.AgileStartNested = false
+	if err := addAD("agile baseline", base, "dirty tracking via VM exits"); err != nil {
+		return nil, err
+	}
+	hwad := base
+	hwad.HardwareAD = true
+	if err := addAD("agile + hw A/D", hwad, "§IV: A/D via extra walk, no trap"); err != nil {
+		return nil, err
+	}
+	shadowBase := DefaultOptions(walker.ModeShadow, pagetable.Size4K)
+	if err := addAD("shadow baseline", shadowBase, "for reference"); err != nil {
+		return nil, err
+	}
+	shadowHW := shadowBase
+	shadowHW.HardwareAD = true
+	if err := addAD("shadow + hw A/D", shadowHW, "§IV opt applied to pure shadow"); err != nil {
+		return nil, err
+	}
+
+	// Context-switch cache: a switch-heavy microbenchmark (the §IV target).
+	addOps := func(name string, o Options, notes string) error {
+		o.Accesses = accesses
+		o.Seed = seed
+		rep, _, err := RunOps(name, ctxSwitchOps(2000), o)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, AblationRow{
+			Name: name, Workload: "ctx-switch µbench",
+			WalkOv: rep.WalkOverhead(), VMMOv: rep.VMMOverhead(),
+			Traps: rep.VMM.Traps[vmm.TrapContextSwitch], Notes: notes,
+		})
+		return nil
+	}
+	ctxBase := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
+	ctxBase.AgileStartNested = false
+	if err := addOps("agile, no ctx cache", ctxBase, "every CR3 write exits"); err != nil {
+		return nil, err
+	}
+	ctxCache := ctxBase
+	ctxCache.CtxSwitchCache = 8
+	if err := addOps("agile + ctx cache(8)", ctxCache, "§IV: gptr=>sptr hardware cache"); err != nil {
+		return nil, err
+	}
+
+	// Revert policies.
+	for _, p := range []core.RevertPolicy{core.RevertNone, core.RevertReset, core.RevertDirtyScan} {
+		o := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
+		o.RevertPolicy = p
+		if err := add("agile revert="+p.String(), "memcached", o, "§III-C nested=>shadow policy"); err != nil {
+			return nil, err
+		}
+	}
+
+	// MMU caches.
+	noPWC := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
+	noPWC.DisablePWC = true
+	noPWC.DisableNTLB = true
+	if err := add("agile, no PWC/NTLB", "graph500", noPWC, "architectural walk costs"); err != nil {
+		return nil, err
+	}
+	withPWC := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
+	if err := add("agile, PWC+NTLB", "graph500", withPWC, ""); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// trapCostReference exposes the cost model used by the ablations (for
+// documentation output).
+func trapCostReference() vmm.CostModel { return vmm.DefaultCostModel() }

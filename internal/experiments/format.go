@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"agilepaging/internal/vmm"
+	"agilepaging/internal/walker"
+)
+
+// FormatTableI renders Table I in the paper's layout.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	b.WriteString("Table I: trade-offs of the memory-virtualization techniques (measured)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\tBase Native\tNested Paging\tShadow Paging\tAgile Paging")
+	cell := func(f func(TableIRow) string) string {
+		parts := make([]string, len(rows))
+		for i, r := range rows {
+			parts[i] = f(r)
+		}
+		return strings.Join(parts, "\t")
+	}
+	fmt.Fprintf(w, "TLB hit\t%s\n", cell(func(r TableIRow) string { return r.TLBHit }))
+	fmt.Fprintf(w, "Max mem access on TLB miss\t%s\n", cell(func(r TableIRow) string { return fmt.Sprintf("%d", r.MaxRefs) }))
+	fmt.Fprintf(w, "Avg mem access on TLB miss\t%s\n", cell(func(r TableIRow) string { return fmt.Sprintf("%.2f", r.AvgRefs) }))
+	fmt.Fprintf(w, "Page table updates\t%s\n", cell(func(r TableIRow) string { return r.UpdateMode }))
+	fmt.Fprintf(w, "  (VMM cycles per update)\t%s\n", cell(func(r TableIRow) string { return fmt.Sprintf("%.0f", r.UpdateCycles) }))
+	fmt.Fprintf(w, "Hardware support\t%s\n", cell(func(r TableIRow) string { return r.Hardware }))
+	w.Flush()
+	return b.String()
+}
+
+// FormatTableII renders Table II.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table II: memory references per walk by degree of nesting\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "degree\tnested levels\tmem refs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\n", r.Degree, r.NestedLevels, r.Refs)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatWalkTraces renders the Figure 1 access sequences.
+func FormatWalkTraces(traces map[string][]walker.Access) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: chronological page-walk accesses per technique\n")
+	for _, name := range []string{"native", "nested", "shadow", "agile"} {
+		accs, ok := traces[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s (%2d refs): ", name, len(accs))
+		for i, a := range accs {
+			if i > 0 {
+				b.WriteString(" -> ")
+			}
+			fmt.Fprintf(&b, "%s.L%d", a.Table, 4-a.Level)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFigure5 renders the Figure 5 sweep as a table of overhead
+// percentages (walk + VMM components).
+func FormatFigure5(f *Figure5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: execution time overheads (page walk + VMM), %d accesses/run\n", f.Accesses)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tconfig\twalk%\tvmm%\ttotal%")
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%s\t%s:%s\t%.1f\t%.1f\t%.1f\n",
+			r.Workload, r.PageSize, shortTech(r.Technique),
+			100*r.WalkOv, 100*r.VMMOv, 100*r.TotalOv())
+	}
+	w.Flush()
+	return b.String()
+}
+
+func shortTech(m walker.Mode) string {
+	switch m {
+	case walker.ModeNative:
+		return "B"
+	case walker.ModeNested:
+		return "N"
+	case walker.ModeShadow:
+		return "S"
+	case walker.ModeAgile:
+		return "A"
+	}
+	return "?"
+}
+
+// FormatHeadline renders the §VII.A summary.
+func FormatHeadline(h HeadlineResult) string {
+	var b strings.Builder
+	b.WriteString("Headline (paper §VII.A): agile vs best constituent and vs native\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tpage\tagile vs best(N,S)\tagile vs native\tbest other")
+	for _, r := range h.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%+.1f%%\t%+.1f%%\t%s\n",
+			r.Workload, r.PageSize, 100*r.AgileVsBest, 100*r.AgileVsNative, r.BestOther)
+	}
+	fmt.Fprintf(w, "geomean 4K\t\t%+.1f%%\t%+.1f%%\t\n", 100*h.GeoAgileVsBest4K, 100*h.GeoAgileVsNative4K)
+	fmt.Fprintf(w, "geomean 2M\t\t%+.1f%%\t%+.1f%%\t\n", 100*h.GeoAgileVsBest2M, 100*h.GeoAgileVsNative2M)
+	w.Flush()
+	return b.String()
+}
+
+// FormatTableVI renders Table VI.
+func FormatTableVI(rows []TableVIRow) string {
+	var b strings.Builder
+	b.WriteString("Table VI: TLB misses by agile mode (4K pages, no PWC/NTLB)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tshadow\tL4\tL3\tL2\tL1\tnested\tavg refs")
+	fmt.Fprintln(w, "(mem accesses)\t4\t8\t12\t16\t20\t24\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.2f\n",
+			r.Workload,
+			100*r.Fractions[0], 100*r.Fractions[1], 100*r.Fractions[2],
+			100*r.Fractions[3], 100*r.Fractions[4], 100*r.Fractions[5],
+			r.AvgRefs)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatAblations renders the ablation sweep.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablations: design choices of §III-C and §IV\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "configuration\tworkload\twalk%\tvmm%\ttraps\tnotes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%d\t%s\n",
+			r.Name, r.Workload, 100*r.WalkOv, 100*r.VMMOv, r.Traps, r.Notes)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatModelValidation renders a direct-vs-projected comparison.
+func FormatModelValidation(v ModelValidation) string {
+	return fmt.Sprintf(
+		"Model validation (%s): direct walk %.1f%% vmm %.1f%% | Table-IV projection walk %.1f%% vmm %.1f%%\n",
+		v.Workload, 100*v.DirectWalkOv, 100*v.DirectVMMOv,
+		100*v.ProjectedWalkOv, 100*v.ProjectedVMMOv)
+}
+
+// FormatTrapCosts documents the VMtrap cost model in effect.
+func FormatTrapCosts() string {
+	c := trapCostReference()
+	var b strings.Builder
+	b.WriteString("VMtrap cost model (cycles; paper §II-B/§VI band):\n")
+	for k := vmm.TrapKind(0); k < vmm.NumTrapKinds; k++ {
+		fmt.Fprintf(&b, "  %-16s %d\n", k.String(), c.Cycles[k])
+	}
+	return b.String()
+}
+
+// FormatSHSP renders the §VII.C comparison.
+func FormatSHSP(rows []SHSPRow) string {
+	var b strings.Builder
+	b.WriteString("SHSP comparison (paper §VII.C): temporal-only switching vs agile, 4K pages\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tnested%\tshadow%\tSHSP%\tagile%\tSHSP switches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%d\n",
+			r.Workload, 100*r.Nested, 100*r.Shadow, 100*r.SHSP, 100*r.Agile, r.SHSPSwitches)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// FormatFigure5Chart renders the Figure 5 sweep as stacked horizontal bars
+// (the paper's visual form): '=' is the page-walk component, '#' the VMM
+// component, on a shared scale.
+func FormatFigure5Chart(f *Figure5Result) string {
+	const width = 60
+	maxTotal := 0.0
+	for _, r := range f.Rows {
+		if t := r.TotalOv(); t > maxTotal {
+			maxTotal = t
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	var b strings.Builder
+	b.WriteString("Figure 5 (chart): execution time overheads; '='=page walk, '#'=VMM\n")
+	lastWorkload := ""
+	for _, r := range f.Rows {
+		if r.Workload != lastWorkload {
+			if lastWorkload != "" {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "%s\n", r.Workload)
+			lastWorkload = r.Workload
+		}
+		walkCols := int(r.WalkOv / maxTotal * width)
+		vmmCols := int(r.VMMOv / maxTotal * width)
+		if r.VMMOv > 0 && vmmCols == 0 {
+			vmmCols = 1
+		}
+		fmt.Fprintf(&b, "  %s:%s |%s%s%s %.0f%%\n",
+			r.PageSize, shortTech(r.Technique),
+			strings.Repeat("=", walkCols), strings.Repeat("#", vmmCols),
+			strings.Repeat(" ", width+1-walkCols-vmmCols),
+			100*r.TotalOv())
+	}
+	return b.String()
+}
+
+// FormatTableV renders the workload characterization.
+func FormatTableV(rows []TableVRow) string {
+	var b strings.Builder
+	b.WriteString("Table V: workload characteristics (measured on base native, 4K)\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tfootprint\tpattern\tprocs\tMPKI\tmiss ratio\twalk ov%\tPT updates")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%dMB\t%s\t%d\t%.0f\t%.2f\t%.1f\t%d\n",
+			r.Workload, r.FootprintBytes>>20, r.Pattern, r.Processes,
+			r.MPKI, r.MissRatio, 100*r.WalkOverhead, r.PTUpdateEvents)
+	}
+	w.Flush()
+	return b.String()
+}

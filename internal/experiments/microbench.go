@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/workload"
+)
+
+// Microbenchmark op streams used by Table I and the ablations.
+
+// tlbThrashOps maps `pages` 4K pages and strides through them `iters`
+// times: with pages well beyond TLB reach every access misses, exposing the
+// per-miss walk cost of each technique.
+func tlbThrashOps(pages, iters int) []workload.Op {
+	base := uint64(0x4000_0000)
+	ops := []workload.Op{
+		{Kind: workload.OpCreateProcess, PID: 0},
+		{Kind: workload.OpMmap, PID: 0, VA: base, Len: uint64(pages) << 12, Size: pagetable.Size4K},
+		{Kind: workload.OpPopulate, PID: 0, VA: base},
+		{Kind: workload.OpCtxSwitch, PID: 0},
+	}
+	for it := 0; it < iters; it++ {
+		for p := 0; p < pages; p++ {
+			ops = append(ops, workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + uint64(p)<<12})
+		}
+	}
+	return ops
+}
+
+// ptUpdateOps performs `rounds` of page-table churn: a region is mapped,
+// its pages touched (demand faults write PTEs), then unmapped. The per-
+// update cost separates direct updates (native/nested, agile steady state)
+// from VMM-mediated updates (shadow).
+func ptUpdateOps(pages, rounds int) []workload.Op {
+	ops := []workload.Op{
+		{Kind: workload.OpCreateProcess, PID: 0},
+		{Kind: workload.OpCtxSwitch, PID: 0},
+	}
+	for r := 0; r < rounds; r++ {
+		base := uint64(0x4000_0000) + uint64(r)<<32
+		ops = append(ops, workload.Op{Kind: workload.OpMmap, PID: 0, VA: base, Len: uint64(pages) << 12, Size: pagetable.Size4K})
+		for p := 0; p < pages; p++ {
+			ops = append(ops, workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + uint64(p)<<12, Write: true})
+		}
+		ops = append(ops, workload.Op{Kind: workload.OpMunmap, PID: 0, VA: base})
+	}
+	return ops
+}
+
+// readThenWriteOps demand-reads `pages` pages (shadow entries are created
+// clean and write-protected for dirty tracking) and then writes each one —
+// the access pattern that maximizes A/D-propagation VM exits (§IV).
+func readThenWriteOps(pages int) []workload.Op {
+	base := uint64(0x4000_0000)
+	ops := []workload.Op{
+		{Kind: workload.OpCreateProcess, PID: 0},
+		{Kind: workload.OpMmap, PID: 0, VA: base, Len: uint64(pages) << 12, Size: pagetable.Size4K},
+		{Kind: workload.OpCtxSwitch, PID: 0},
+	}
+	for p := 0; p < pages; p++ {
+		ops = append(ops, workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + uint64(p)<<12})
+	}
+	for p := 0; p < pages; p++ {
+		ops = append(ops, workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + uint64(p)<<12, Write: true})
+	}
+	return ops
+}
+
+// mixedOps is the Table I walk-cost microbenchmark: a large static region
+// thrashed with a TLB-hostile stride, interleaved with periodic page-table
+// churn in a small dynamic region. Static workloads show each technique's
+// baseline walk cost; the dynamic section exercises agile's switched walks
+// so its 4–5 average (paper Table I) emerges.
+func mixedOps(staticPages, accesses, churnEvery, churnPages int) []workload.Op {
+	static := uint64(0x4000_0000)
+	churn := uint64(0x8000_0000)
+	ops := []workload.Op{
+		{Kind: workload.OpCreateProcess, PID: 0},
+		{Kind: workload.OpMmap, PID: 0, VA: static, Len: uint64(staticPages) << 12, Size: pagetable.Size4K},
+		{Kind: workload.OpPopulate, PID: 0, VA: static},
+		{Kind: workload.OpCtxSwitch, PID: 0},
+	}
+	churnLive := false
+	for i := 0; i < accesses; i++ {
+		if churnEvery > 0 && i%churnEvery == 0 {
+			if churnLive {
+				ops = append(ops, workload.Op{Kind: workload.OpMunmap, PID: 0, VA: churn})
+			}
+			ops = append(ops, workload.Op{Kind: workload.OpMmap, PID: 0, VA: churn, Len: uint64(churnPages) << 12, Size: pagetable.Size4K})
+			churnLive = true
+			for p := 0; p < churnPages; p++ {
+				ops = append(ops, workload.Op{Kind: workload.OpAccess, PID: 0, VA: churn + uint64(p)<<12, Write: true})
+			}
+		}
+		ops = append(ops, workload.Op{Kind: workload.OpAccess, PID: 0, VA: static + uint64(i%staticPages)<<12})
+	}
+	return ops
+}
+
+// ctxSwitchOps bounces between two processes, each touching one page per
+// quantum — the context-switch microbenchmark for the §IV hardware cache.
+func ctxSwitchOps(switches int) []workload.Op {
+	ops := []workload.Op{
+		{Kind: workload.OpCreateProcess, PID: 0},
+		{Kind: workload.OpCreateProcess, PID: 1},
+		{Kind: workload.OpMmap, PID: 0, VA: 0x4000_0000, Len: 16 << 12, Size: pagetable.Size4K},
+		{Kind: workload.OpMmap, PID: 1, VA: 0x5000_0000, Len: 16 << 12, Size: pagetable.Size4K},
+		{Kind: workload.OpPopulate, PID: 0, VA: 0x4000_0000},
+		{Kind: workload.OpPopulate, PID: 1, VA: 0x5000_0000},
+	}
+	for i := 0; i < switches; i++ {
+		pid := i % 2
+		base := uint64(0x4000_0000) + uint64(pid)<<28
+		ops = append(ops,
+			workload.Op{Kind: workload.OpCtxSwitch, PID: pid},
+			workload.Op{Kind: workload.OpAccess, PID: pid, VA: base + uint64(i%16)<<12},
+		)
+	}
+	return ops
+}

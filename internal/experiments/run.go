@@ -1,0 +1,171 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§VI–§VII), mapping simulator output to the same rows
+// and series the paper reports. See DESIGN.md for the per-experiment index.
+package experiments
+
+import (
+	"fmt"
+
+	"agilepaging/internal/core"
+	"agilepaging/internal/cpu"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/trace"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// Options parameterizes one simulation run.
+type Options struct {
+	Technique walker.Mode
+	PageSize  pagetable.Size
+	Accesses  int
+	Seed      int64
+
+	// Warmup is the number of steady-phase accesses executed before all
+	// statistics are reset, so measurements reflect steady state (the
+	// paper's runs-to-completion amortize cold shadow construction the same
+	// way). 0 selects Accesses/2; negative disables warmup.
+	Warmup int
+
+	// AgileStartNested enables the paper's short-lived/small-process policy
+	// (§III-C): agile processes start fully nested and build shadow state
+	// only once TLB-miss overhead justifies it. DefaultOptions enables it;
+	// microbenchmarks that study walk structure disable it.
+	AgileStartNested bool
+
+	// UseSHSP replaces agile paging's manager with the prior-work SHSP
+	// baseline (paper §VII.C): whole-process temporal switching.
+	UseSHSP bool
+
+	// Structural knobs (zero values = paper baseline).
+	DisablePWC     bool
+	DisableNTLB    bool
+	HardwareAD     bool
+	CtxSwitchCache int
+	RevertPolicy   core.RevertPolicy // used when Technique is agile
+	TLBScale       int               // 0 = default
+
+	// Optional instrumentation.
+	MissLog *trace.MissLog
+	TrapLog *trace.TrapLog
+}
+
+// DefaultOptions returns the baseline run options for a technique and page
+// size. The default run length keeps the full Figure 5 sweep in the tens of
+// seconds; scale Accesses up for tighter statistics.
+func DefaultOptions(tech walker.Mode, ps pagetable.Size) Options {
+	return Options{
+		Technique:        tech,
+		PageSize:         ps,
+		Accesses:         120_000,
+		Seed:             42,
+		RevertPolicy:     core.RevertDirtyScan,
+		AgileStartNested: true,
+	}
+}
+
+// warmupCount resolves the warmup policy.
+func warmupCount(o Options) int {
+	if o.Warmup < 0 {
+		return 0
+	}
+	if o.Warmup == 0 {
+		return o.Accesses / 2
+	}
+	return o.Warmup
+}
+
+// machineConfig translates Options into a cpu.Config.
+func machineConfig(o Options) cpu.Config {
+	cfg := cpu.DefaultConfig(o.Technique, o.PageSize)
+	cfg.EnablePWC = !o.DisablePWC
+	cfg.EnableNTLB = !o.DisableNTLB
+	cfg.HardwareAD = o.HardwareAD
+	cfg.CtxSwitchCache = o.CtxSwitchCache
+	cfg.Agile.Revert = o.RevertPolicy
+	if o.UseSHSP {
+		cfg.UseSHSP = true
+		cfg.SHSP = core.DefaultSHSP()
+	}
+	if o.AgileStartNested {
+		cfg.Agile.StartNested = true
+		cfg.Agile.StartDelayCycles = 500_000
+		cfg.Agile.MissOverheadThreshold = 0.06
+	}
+	if o.TLBScale > 0 {
+		cfg.TLBScale = o.TLBScale
+	}
+	return cfg
+}
+
+// RunProfile simulates one named workload under the given options and
+// returns the measurement report.
+func RunProfile(name string, o Options) (cpu.Report, error) {
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		return cpu.Report{}, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	cfg := machineConfig(o)
+	if prof.Threads > cfg.Cores {
+		// Multithreaded workloads get one core per thread (private TLBs,
+		// shared address space), as on the paper's 24-vCPU machine.
+		cfg.Cores = prof.Threads
+	}
+	m, err := cpu.New(cfg)
+	if err != nil {
+		return cpu.Report{}, err
+	}
+	warm := warmupCount(o)
+	if warm == 0 {
+		attachLogs(m, o)
+	}
+	gen := workload.New(prof, o.PageSize, warm+o.Accesses, o.Seed)
+	accesses := 0
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := m.Exec(op); err != nil {
+			return cpu.Report{}, fmt.Errorf("experiments: %s/%v/%v: %w", name, o.Technique, o.PageSize, err)
+		}
+		if op.Kind == workload.OpAccess {
+			accesses++
+			if accesses == warm {
+				// End of warmup: measure steady state only. Logs attach
+				// here so traces cover the measured window.
+				m.ResetMeasurement()
+				attachLogs(m, o)
+			}
+		}
+	}
+	return m.Report(name), nil
+}
+
+// RunOps simulates a fixed op stream (microbenchmarks).
+func RunOps(name string, ops []workload.Op, o Options) (cpu.Report, *cpu.Machine, error) {
+	m, err := cpu.New(machineConfig(o))
+	if err != nil {
+		return cpu.Report{}, nil, err
+	}
+	attachLogs(m, o)
+	if err := m.Run(workload.NewFromOps(name, ops)); err != nil {
+		return cpu.Report{}, nil, err
+	}
+	return m.Report(name), m, nil
+}
+
+func attachLogs(m *cpu.Machine, o Options) {
+	if o.MissLog != nil {
+		m.SetMissObserver(o.MissLog.Observer())
+	}
+	if o.TrapLog != nil && m.VM != nil {
+		m.VM.SetTrapObserver(o.TrapLog.Observer())
+	}
+}
+
+// Techniques lists the four configurations of Figure 5 in paper order.
+var Techniques = []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile}
+
+// PageSizes lists the two page-size policies of Figure 5.
+var PageSizes = []pagetable.Size{pagetable.Size4K, pagetable.Size2M}

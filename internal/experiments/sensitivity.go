@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"agilepaging/internal/cpu"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/vmm"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// SensitivityRow reports one point of the cost-model sensitivity sweep.
+type SensitivityRow struct {
+	// TrapScale multiplies every VM-exit cost; RefScale multiplies the
+	// page-walk memory-reference costs.
+	TrapScale float64
+	RefScale  float64
+	// Total overheads for the probe workload under each technique.
+	Nested, Shadow, Agile float64
+	// AgileWins reports whether agile still beats the best constituent.
+	AgileWins bool
+}
+
+// Sensitivity sweeps the two calibrated cost parameters — VM-exit cycles
+// and walk-reference cycles — across an order of magnitude and checks
+// whether the paper's conclusion (agile ≤ best of nested and shadow) is an
+// artifact of the calibration or robust to it. The probe workload is
+// dedup, where both constituents are expensive in different ways.
+func Sensitivity(accesses int, seed int64) ([]SensitivityRow, error) {
+	prof, _ := workload.ProfileByName("dedup")
+	var rows []SensitivityRow
+	for _, trapScale := range []float64{0.3, 1, 3} {
+		for _, refScale := range []float64{0.5, 1, 2} {
+			row := SensitivityRow{TrapScale: trapScale, RefScale: refScale}
+			for _, tech := range []walker.Mode{walker.ModeNested, walker.ModeShadow, walker.ModeAgile} {
+				o := DefaultOptions(tech, pagetable.Size4K)
+				o.Accesses = accesses
+				o.Seed = seed
+				cfg := machineConfig(o)
+				costs := vmm.DefaultCostModel()
+				for k := range costs.Cycles {
+					costs.Cycles[k] = uint64(float64(costs.Cycles[k]) * trapScale)
+				}
+				cfg.TrapCosts = costs
+				cfg.MemRefCycles = uint64(float64(cfg.MemRefCycles) * refScale)
+				cfg.HostRefCycles = uint64(float64(cfg.HostRefCycles) * refScale)
+				if cfg.HostRefCycles < 1 {
+					cfg.HostRefCycles = 1
+				}
+				rep, err := runScaled(prof, cfg, o)
+				if err != nil {
+					return nil, err
+				}
+				switch tech {
+				case walker.ModeNested:
+					row.Nested = rep.TotalOverhead()
+				case walker.ModeShadow:
+					row.Shadow = rep.TotalOverhead()
+				case walker.ModeAgile:
+					row.Agile = rep.TotalOverhead()
+				}
+			}
+			best := row.Nested
+			if row.Shadow < best {
+				best = row.Shadow
+			}
+			row.AgileWins = row.Agile <= best*1.02+0.005 // ties allowed
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runScaled is RunProfile with an explicit machine configuration.
+func runScaled(prof workload.Profile, cfg cpu.Config, o Options) (cpu.Report, error) {
+	if prof.Threads > cfg.Cores {
+		cfg.Cores = prof.Threads
+	}
+	m, err := cpu.New(cfg)
+	if err != nil {
+		return cpu.Report{}, err
+	}
+	warm := warmupCount(o)
+	gen := workload.New(prof, o.PageSize, warm+o.Accesses, o.Seed)
+	accesses := 0
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := m.Exec(op); err != nil {
+			return cpu.Report{}, err
+		}
+		if op.Kind == workload.OpAccess {
+			accesses++
+			if accesses == warm {
+				m.ResetMeasurement()
+			}
+		}
+	}
+	return m.Report(prof.Name), nil
+}
+
+// FormatSensitivity renders the sweep.
+func FormatSensitivity(rows []SensitivityRow) string {
+	var b strings.Builder
+	b.WriteString("Sensitivity: does agile still win if the cost calibration is wrong?\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "trap cost x\twalk ref cost x\tnested%\tshadow%\tagile%\tagile wins")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%v\n",
+			r.TrapScale, r.RefScale, 100*r.Nested, 100*r.Shadow, 100*r.Agile, r.AgileWins)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// SHSPRow compares one workload under the SHSP prior-work baseline against
+// agile paging and the constituent techniques (paper §VII.C).
+type SHSPRow struct {
+	Workload string
+	// Total execution-time overheads.
+	Nested, Shadow, SHSP, Agile float64
+	// SHSPSwitches counts SHSP's whole-process mode changes.
+	SHSPSwitches uint64
+}
+
+// Best returns the better constituent's overhead.
+func (r SHSPRow) Best() float64 {
+	if r.Nested < r.Shadow {
+		return r.Nested
+	}
+	return r.Shadow
+}
+
+// SHSPComparison reproduces the paper's §VII.C discussion: SHSP, switching
+// an entire guest process temporally between the techniques, approaches the
+// best of the two, while agile paging — temporal *and* spatial — exceeds
+// it. Runs at 4K pages where the techniques differ most.
+func SHSPComparison(workloads []string, accesses int, seed int64) ([]SHSPRow, error) {
+	if workloads == nil {
+		workloads = workload.Names()
+	}
+	rows := make([]SHSPRow, 0, len(workloads))
+	for _, name := range workloads {
+		row := SHSPRow{Workload: name}
+		for _, cfg := range []struct {
+			tech walker.Mode
+			shsp bool
+			dst  *float64
+		}{
+			{walker.ModeNested, false, &row.Nested},
+			{walker.ModeShadow, false, &row.Shadow},
+			{walker.ModeAgile, true, &row.SHSP},
+			{walker.ModeAgile, false, &row.Agile},
+		} {
+			o := DefaultOptions(cfg.tech, pagetable.Size4K)
+			o.Accesses = accesses
+			o.Seed = seed
+			o.UseSHSP = cfg.shsp
+			// SHSP converges coarsely (whole-process sampling + rebuild);
+			// give every configuration a full-length warmup so the steady
+			// states are compared, as the paper's to-completion runs do.
+			o.Warmup = accesses
+			rep, err := RunProfile(name, o)
+			if err != nil {
+				return nil, err
+			}
+			*cfg.dst = rep.TotalOverhead()
+			if cfg.shsp {
+				row.SHSPSwitches = rep.SHSP.ToShadow + rep.SHSP.ToNested
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// TableVRow characterizes one workload as paper Table V does, extended with
+// the measured properties that qualified workloads for the study: the
+// paper selects workloads "with high TLB-miss overhead (more than 5 MPKI)".
+type TableVRow struct {
+	Workload       string
+	FootprintBytes uint64
+	Pattern        string
+	Processes      int
+	// Measured on the base-native 4K configuration.
+	MPKI           float64
+	MissRatio      float64
+	WalkOverhead   float64
+	PTUpdateEvents uint64 // guest page-table update events (maps + unmaps)
+}
+
+// TableV measures the workload-characterization table.
+func TableV(accesses int, seed int64) ([]TableVRow, error) {
+	rows := make([]TableVRow, 0, len(workload.Profiles))
+	for _, prof := range workload.Profiles {
+		o := DefaultOptions(walker.ModeNative, pagetable.Size4K)
+		o.Accesses = accesses
+		o.Seed = seed
+		rep, err := RunProfile(prof.Name, o)
+		if err != nil {
+			return nil, err
+		}
+		missRatio := 0.0
+		if rep.Machine.Accesses > 0 {
+			missRatio = float64(rep.Machine.TLBMisses) / float64(rep.Machine.Accesses)
+		}
+		procs := prof.Processes
+		if procs == 0 {
+			procs = 1
+		}
+		rows = append(rows, TableVRow{
+			Workload:       prof.Name,
+			FootprintBytes: prof.FootprintBytes,
+			Pattern:        prof.Pattern.String(),
+			Processes:      procs,
+			MPKI:           rep.MPKI(),
+			MissRatio:      missRatio,
+			WalkOverhead:   rep.WalkOverhead(),
+			PTUpdateEvents: rep.OS.MapsInstalled + rep.OS.Unmapped,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/trace"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// TableVIRow is one row of paper Table VI: the fraction of TLB misses
+// served at each agile switch level while using 4K pages, assuming no page
+// walk caches, plus the resulting average memory accesses per miss.
+type TableVIRow struct {
+	Workload string
+	// Fractions[0] = full shadow, [1..4] = switch at L4..L1 (1..4 trailing
+	// nested levels), [5] = fully nested.
+	Fractions [6]float64
+	AvgRefs   float64
+}
+
+// TableVI reproduces paper Table VI by running every workload under agile
+// paging at 4K with the page walk caches and nested TLB disabled, and
+// classifying every TLB miss (the BadgerTrap step).
+func TableVI(workloads []string, accesses int, seed int64) ([]TableVIRow, error) {
+	if workloads == nil {
+		workloads = workload.Names()
+	}
+	rows := make([]TableVIRow, 0, len(workloads))
+	for _, name := range workloads {
+		var miss trace.MissLog
+		o := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
+		o.Accesses = accesses
+		o.Seed = seed
+		o.DisablePWC = true
+		o.DisableNTLB = true
+		o.MissLog = &miss
+		if _, err := RunProfile(name, o); err != nil {
+			return nil, err
+		}
+		s := miss.Summary()
+		row := TableVIRow{Workload: name, AvgRefs: s.AvgRefs()}
+		for c := 0; c < 6; c++ {
+			row.Fractions[c] = s.Fraction(c)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

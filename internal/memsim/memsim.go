@@ -1,0 +1,202 @@
+// Package memsim models the host physical memory of the simulated machine.
+//
+// Physical memory is divided into 4 KiB frames. Frames are allocated from a
+// simple bump-plus-freelist allocator. Frames that hold page-table pages have
+// their 512 eight-byte entries materialized so the hardware walk state
+// machines (package walker) and the software page-table code (package
+// pagetable) can read and write individual entries; data frames carry no
+// content, only identity, because the simulator accounts for translation
+// behaviour rather than data values.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// FrameSize is the size of a physical frame in bytes.
+	FrameSize = 4096
+	// FrameShift is log2(FrameSize).
+	FrameShift = 12
+	// EntriesPerTable is the number of 8-byte entries in one page-table page.
+	EntriesPerTable = 512
+)
+
+// Frame identifies a physical frame by its frame number (physical address
+// right-shifted by FrameShift).
+type Frame uint64
+
+// Addr returns the base physical address of the frame.
+func (f Frame) Addr() uint64 { return uint64(f) << FrameShift }
+
+// FrameOf returns the frame containing physical address pa.
+func FrameOf(pa uint64) Frame { return Frame(pa >> FrameShift) }
+
+// ErrOutOfMemory is returned when the physical memory is exhausted.
+var ErrOutOfMemory = errors.New("memsim: out of physical memory")
+
+// Memory is a simulated bank of host physical memory.
+//
+// The zero value is not usable; create instances with New.
+type Memory struct {
+	totalFrames uint64
+	nextFrame   Frame
+	freeList    []Frame
+	tables      map[Frame]*[EntriesPerTable]uint64
+	allocated   map[Frame]bool
+}
+
+// New creates a Memory holding the given number of bytes, rounded down to a
+// whole number of frames. Frame 0 is reserved (a zero frame number means
+// "no frame" throughout the simulator).
+func New(bytes uint64) *Memory {
+	frames := bytes / FrameSize
+	if frames < 2 {
+		frames = 2
+	}
+	return &Memory{
+		totalFrames: frames,
+		nextFrame:   1, // frame 0 reserved as the nil frame
+		tables:      make(map[Frame]*[EntriesPerTable]uint64),
+		allocated:   make(map[Frame]bool),
+	}
+}
+
+// TotalFrames reports the number of frames the memory holds, including the
+// reserved nil frame.
+func (m *Memory) TotalFrames() uint64 { return m.totalFrames }
+
+// AllocatedFrames reports the number of currently allocated frames.
+func (m *Memory) AllocatedFrames() int { return len(m.allocated) }
+
+// AllocFrame allocates one data frame.
+func (m *Memory) AllocFrame() (Frame, error) {
+	if n := len(m.freeList); n > 0 {
+		f := m.freeList[n-1]
+		m.freeList = m.freeList[:n-1]
+		m.allocated[f] = true
+		return f, nil
+	}
+	if uint64(m.nextFrame) >= m.totalFrames {
+		return 0, ErrOutOfMemory
+	}
+	f := m.nextFrame
+	m.nextFrame++
+	m.allocated[f] = true
+	return f, nil
+}
+
+// AllocContiguous allocates n physically contiguous frames and returns the
+// first. Contiguity only matters for large-page backing; the allocator
+// satisfies it from the bump pointer, never the free list.
+func (m *Memory) AllocContiguous(n int) (Frame, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("memsim: invalid contiguous allocation of %d frames", n)
+	}
+	if uint64(m.nextFrame)+uint64(n) > m.totalFrames {
+		return 0, ErrOutOfMemory
+	}
+	first := m.nextFrame
+	for i := 0; i < n; i++ {
+		m.allocated[m.nextFrame] = true
+		m.nextFrame++
+	}
+	return first, nil
+}
+
+// AllocContiguousAligned allocates n physically contiguous frames whose
+// first frame number is a multiple of alignFrames, as large-page backing
+// requires. Frames skipped for alignment are returned to the free list.
+func (m *Memory) AllocContiguousAligned(n, alignFrames int) (Frame, error) {
+	if alignFrames <= 1 {
+		return m.AllocContiguous(n)
+	}
+	a := uint64(alignFrames)
+	start := (uint64(m.nextFrame) + a - 1) / a * a
+	if start+uint64(n) > m.totalFrames {
+		return 0, ErrOutOfMemory
+	}
+	for f := m.nextFrame; uint64(f) < start; f++ {
+		m.freeList = append(m.freeList, f)
+	}
+	m.nextFrame = Frame(start)
+	return m.AllocContiguous(n)
+}
+
+// AllocTable allocates a frame and materializes it as a zeroed page-table
+// page.
+func (m *Memory) AllocTable() (Frame, error) {
+	f, err := m.AllocFrame()
+	if err != nil {
+		return 0, err
+	}
+	m.tables[f] = new([EntriesPerTable]uint64)
+	return f, nil
+}
+
+// MaterializeTable converts an already-allocated data frame into a zeroed
+// page-table page. The VMM uses this when a guest OS repurposes a page of
+// its (pre-backed) RAM as a page-table page. Materializing a frame that is
+// already a table is a no-op.
+func (m *Memory) MaterializeTable(f Frame) error {
+	if !m.allocated[f] {
+		return fmt.Errorf("memsim: materialize of unallocated frame %#x", uint64(f))
+	}
+	if _, ok := m.tables[f]; !ok {
+		m.tables[f] = new([EntriesPerTable]uint64)
+	}
+	return nil
+}
+
+// FreeFrame returns a frame to the allocator. Freeing the nil frame or an
+// unallocated frame is an error.
+func (m *Memory) FreeFrame(f Frame) error {
+	if f == 0 {
+		return errors.New("memsim: free of nil frame")
+	}
+	if !m.allocated[f] {
+		return fmt.Errorf("memsim: double free of frame %#x", uint64(f))
+	}
+	delete(m.allocated, f)
+	delete(m.tables, f)
+	m.freeList = append(m.freeList, f)
+	return nil
+}
+
+// IsTable reports whether frame f holds a materialized page-table page.
+func (m *Memory) IsTable(f Frame) bool {
+	_, ok := m.tables[f]
+	return ok
+}
+
+// ReadEntry reads entry idx of the page-table page in frame f.
+// It panics if f is not a table frame or idx is out of range: the hardware
+// walker only ever dereferences pointers the simulator itself installed, so
+// a violation is a simulator bug, not a guest error.
+func (m *Memory) ReadEntry(f Frame, idx int) uint64 {
+	t, ok := m.tables[f]
+	if !ok {
+		panic(fmt.Sprintf("memsim: read of non-table frame %#x", uint64(f)))
+	}
+	return t[idx]
+}
+
+// WriteEntry writes entry idx of the page-table page in frame f.
+func (m *Memory) WriteEntry(f Frame, idx int, val uint64) {
+	t, ok := m.tables[f]
+	if !ok {
+		panic(fmt.Sprintf("memsim: write of non-table frame %#x", uint64(f)))
+	}
+	t[idx] = val
+}
+
+// TableSnapshot returns a copy of the 512 entries of table frame f, for
+// tests and debugging.
+func (m *Memory) TableSnapshot(f Frame) [EntriesPerTable]uint64 {
+	t, ok := m.tables[f]
+	if !ok {
+		panic(fmt.Sprintf("memsim: snapshot of non-table frame %#x", uint64(f)))
+	}
+	return *t
+}

@@ -1,0 +1,217 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReservesNilFrame(t *testing.T) {
+	m := New(1 << 20)
+	f, err := m.AllocFrame()
+	if err != nil {
+		t.Fatalf("AllocFrame: %v", err)
+	}
+	if f == 0 {
+		t.Fatal("first allocated frame is the reserved nil frame")
+	}
+}
+
+func TestAllocFrameDistinct(t *testing.T) {
+	m := New(1 << 20)
+	seen := make(map[Frame]bool)
+	for i := 0; i < 100; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatalf("AllocFrame %d: %v", i, err)
+		}
+		if seen[f] {
+			t.Fatalf("frame %#x allocated twice", uint64(f))
+		}
+		seen[f] = true
+	}
+	if got := m.AllocatedFrames(); got != 100 {
+		t.Fatalf("AllocatedFrames = %d, want 100", got)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := New(4 * FrameSize) // frames 0..3, frame 0 reserved => 3 usable
+	var frames []Frame
+	for {
+		f, err := m.AllocFrame()
+		if err != nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("allocated %d frames, want 3", len(frames))
+	}
+	if _, err := m.AllocFrame(); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Freeing makes allocation possible again.
+	if err := m.FreeFrame(frames[0]); err != nil {
+		t.Fatalf("FreeFrame: %v", err)
+	}
+	if _, err := m.AllocFrame(); err != nil {
+		t.Fatalf("AllocFrame after free: %v", err)
+	}
+}
+
+func TestFreeFrameErrors(t *testing.T) {
+	m := New(1 << 20)
+	if err := m.FreeFrame(0); err == nil {
+		t.Error("freeing nil frame should fail")
+	}
+	f, _ := m.AllocFrame()
+	if err := m.FreeFrame(f); err != nil {
+		t.Fatalf("FreeFrame: %v", err)
+	}
+	if err := m.FreeFrame(f); err == nil {
+		t.Error("double free should fail")
+	}
+}
+
+func TestAllocContiguous(t *testing.T) {
+	m := New(1 << 20)
+	first, err := m.AllocContiguous(8)
+	if err != nil {
+		t.Fatalf("AllocContiguous: %v", err)
+	}
+	// The next single allocation must not land inside the contiguous run.
+	f, _ := m.AllocFrame()
+	if f >= first && f < first+8 {
+		t.Fatalf("single frame %#x allocated inside contiguous run [%#x,%#x)", uint64(f), uint64(first), uint64(first)+8)
+	}
+	if _, err := m.AllocContiguous(0); err == nil {
+		t.Error("AllocContiguous(0) should fail")
+	}
+}
+
+func TestAllocContiguousExhaustion(t *testing.T) {
+	m := New(8 * FrameSize)
+	if _, err := m.AllocContiguous(100); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestTableReadWrite(t *testing.T) {
+	m := New(1 << 20)
+	f, err := m.AllocTable()
+	if err != nil {
+		t.Fatalf("AllocTable: %v", err)
+	}
+	if !m.IsTable(f) {
+		t.Fatal("IsTable = false for table frame")
+	}
+	for i := 0; i < EntriesPerTable; i++ {
+		if v := m.ReadEntry(f, i); v != 0 {
+			t.Fatalf("new table entry %d = %#x, want 0", i, v)
+		}
+	}
+	m.WriteEntry(f, 7, 0xdeadbeef)
+	if v := m.ReadEntry(f, 7); v != 0xdeadbeef {
+		t.Fatalf("entry 7 = %#x, want 0xdeadbeef", v)
+	}
+	snap := m.TableSnapshot(f)
+	if snap[7] != 0xdeadbeef {
+		t.Fatal("snapshot does not reflect write")
+	}
+	// Mutating the snapshot must not touch the table.
+	snap[7] = 1
+	if v := m.ReadEntry(f, 7); v != 0xdeadbeef {
+		t.Fatal("snapshot aliases table storage")
+	}
+}
+
+func TestNonTableAccessPanics(t *testing.T) {
+	m := New(1 << 20)
+	f, _ := m.AllocFrame()
+	if m.IsTable(f) {
+		t.Fatal("data frame reported as table")
+	}
+	assertPanics(t, "ReadEntry", func() { m.ReadEntry(f, 0) })
+	assertPanics(t, "WriteEntry", func() { m.WriteEntry(f, 0, 1) })
+	assertPanics(t, "TableSnapshot", func() { m.TableSnapshot(f) })
+}
+
+func TestFreeTableFrameDropsContent(t *testing.T) {
+	m := New(1 << 20)
+	f, _ := m.AllocTable()
+	m.WriteEntry(f, 1, 42)
+	if err := m.FreeFrame(f); err != nil {
+		t.Fatalf("FreeFrame: %v", err)
+	}
+	if m.IsTable(f) {
+		t.Fatal("freed frame still a table")
+	}
+}
+
+func TestFrameAddrRoundTrip(t *testing.T) {
+	if err := quick.Check(func(n uint32) bool {
+		f := Frame(n)
+		return FrameOf(f.Addr()) == f
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(pa uint64) bool {
+		f := FrameOf(pa)
+		return f.Addr() == pa&^uint64(FrameSize-1)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReuseAfterFreePrefersFreeList(t *testing.T) {
+	m := New(1 << 20)
+	a, _ := m.AllocFrame()
+	b, _ := m.AllocFrame()
+	if err := m.FreeFrame(a); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.AllocFrame()
+	if c != a {
+		t.Fatalf("expected reuse of freed frame %#x, got %#x", uint64(a), uint64(c))
+	}
+	_ = b
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestAllocContiguousAligned(t *testing.T) {
+	m := New(64 << 20)
+	if _, err := m.AllocFrame(); err != nil { // misalign the bump pointer
+		t.Fatal(err)
+	}
+	f, err := m.AllocContiguousAligned(512, 512) // one 2M chunk
+	if err != nil {
+		t.Fatalf("AllocContiguousAligned: %v", err)
+	}
+	if uint64(f)%512 != 0 {
+		t.Errorf("frame %#x not 512-frame aligned", uint64(f))
+	}
+	// Skipped frames must be reusable.
+	g, err := m.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g >= f {
+		t.Errorf("alignment gap not recycled: got frame %#x >= %#x", uint64(g), uint64(f))
+	}
+	// Align 1 behaves like plain contiguous.
+	if _, err := m.AllocContiguousAligned(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocContiguousAligned(1<<30, 512); err != ErrOutOfMemory {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}

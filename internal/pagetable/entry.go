@@ -1,0 +1,104 @@
+// Package pagetable implements x86-64-style four-level hierarchical page
+// tables over simulated physical memory (package memsim).
+//
+// The same implementation serves all four table roles the paper uses:
+//
+//   - native page table (VA⇒PA), walked by the hardware 1D walker
+//   - guest page table gPT (gVA⇒gPA), maintained by the guest OS
+//   - host page table hPT (gPA⇒hPA), maintained by the VMM per VM
+//   - shadow page table sPT (gVA⇒hPA), built by the VMM by merging gPT+hPT
+//
+// Entries follow the x86-64 layout, extended with the paper's *switching
+// bit* in the software-available range: when set in a shadow-table entry,
+// the hardware page walk switches from shadow to nested mode at that point
+// (paper §III-A, Figure 4).
+package pagetable
+
+import "fmt"
+
+// Entry is a single 8-byte page-table entry.
+type Entry uint64
+
+// Architectural and software-defined entry bits.
+const (
+	FlagPresent  Entry = 1 << 0 // P: translation valid
+	FlagWrite    Entry = 1 << 1 // R/W: writable
+	FlagUser     Entry = 1 << 2 // U/S: user accessible
+	FlagAccessed Entry = 1 << 5 // A: set by hardware on first access
+	FlagDirty    Entry = 1 << 6 // D: set by hardware on first write (leaf only)
+	FlagHuge     Entry = 1 << 7 // PS: entry maps a large page (levels 2 and 3)
+	FlagGlobal   Entry = 1 << 8 // G: survives non-PCID TLB flushes
+
+	// FlagSwitch is the agile-paging switching bit (paper §III-A). It lives
+	// in the ignored bit range (bit 52). When set in a shadow page table
+	// entry, the entry's address field holds the host-physical address of
+	// the next *guest* page table level and the walk continues in nested
+	// mode.
+	FlagSwitch Entry = 1 << 52
+
+	// FlagNX marks the mapping non-executable.
+	FlagNX Entry = 1 << 63
+)
+
+// addrMask selects the physical-address field of an entry (bits 12..51).
+const addrMask Entry = 0x000FFFFFFFFFF000
+
+// MakeEntry builds an entry pointing at physical address pa with the given
+// flag bits. The low 12 bits of pa are discarded.
+func MakeEntry(pa uint64, flags Entry) Entry {
+	return Entry(pa)&addrMask | (flags &^ addrMask)
+}
+
+// Addr returns the physical address field of the entry.
+func (e Entry) Addr() uint64 { return uint64(e & addrMask) }
+
+// Present reports whether the entry is valid.
+func (e Entry) Present() bool { return e&FlagPresent != 0 }
+
+// Writable reports whether the entry permits writes.
+func (e Entry) Writable() bool { return e&FlagWrite != 0 }
+
+// User reports whether the entry permits user-mode access.
+func (e Entry) User() bool { return e&FlagUser != 0 }
+
+// Accessed reports whether the accessed bit is set.
+func (e Entry) Accessed() bool { return e&FlagAccessed != 0 }
+
+// Dirty reports whether the dirty bit is set.
+func (e Entry) Dirty() bool { return e&FlagDirty != 0 }
+
+// Huge reports whether the PS bit is set (the entry maps a large page).
+func (e Entry) Huge() bool { return e&FlagHuge != 0 }
+
+// Switching reports whether the agile-paging switching bit is set.
+func (e Entry) Switching() bool { return e&FlagSwitch != 0 }
+
+// WithFlags returns the entry with the given flags added.
+func (e Entry) WithFlags(f Entry) Entry { return e | (f &^ addrMask) }
+
+// WithoutFlags returns the entry with the given flags removed.
+func (e Entry) WithoutFlags(f Entry) Entry { return e &^ (f &^ addrMask) }
+
+// Flags returns the non-address bits of the entry.
+func (e Entry) Flags() Entry { return e &^ addrMask }
+
+// String renders the entry for debugging.
+func (e Entry) String() string {
+	if !e.Present() {
+		return fmt.Sprintf("Entry{not present, raw=%#x}", uint64(e))
+	}
+	s := fmt.Sprintf("Entry{addr=%#x", e.Addr())
+	for _, f := range []struct {
+		bit  Entry
+		name string
+	}{
+		{FlagWrite, "W"}, {FlagUser, "U"}, {FlagAccessed, "A"},
+		{FlagDirty, "D"}, {FlagHuge, "PS"}, {FlagGlobal, "G"},
+		{FlagSwitch, "SW"}, {FlagNX, "NX"},
+	} {
+		if e&f.bit != 0 {
+			s += " " + f.name
+		}
+	}
+	return s + "}"
+}

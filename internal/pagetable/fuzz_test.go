@@ -1,0 +1,54 @@
+package pagetable
+
+import (
+	"testing"
+
+	"agilepaging/internal/memsim"
+)
+
+// FuzzTableOps drives a table with a byte-coded op sequence: no input may
+// panic it or break the map/lookup/unmap contract.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem := memsim.New(32 << 20)
+		tbl, err := New(mem, HostSpace{Mem: mem})
+		if err != nil {
+			t.Skip()
+		}
+		mapped := map[uint64]Size{}
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 5
+			size := Size(data[i+1] % 3)
+			va := (uint64(data[i+2])<<30 | uint64(data[i+3])<<12) &^ size.Mask()
+			switch op {
+			case 0:
+				if err := tbl.Map(va, va+(1<<20)&^size.Mask(), size, FlagWrite); err == nil {
+					mapped[va] = size
+				}
+			case 1:
+				if sz, ok := mapped[va]; ok && sz == size {
+					if err := tbl.Unmap(va, size); err != nil {
+						t.Fatalf("unmap of known mapping failed: %v", err)
+					}
+					delete(mapped, va)
+				} else {
+					_ = tbl.Unmap(va, size)
+				}
+			case 2:
+				_, _ = tbl.Lookup(va)
+			case 3:
+				_ = tbl.SetFlags(va, FlagAccessed)
+			case 4:
+				tbl.FreeEmpty()
+			}
+		}
+		// Every live mapping must still resolve.
+		for va := range mapped {
+			if _, err := tbl.Lookup(va); err != nil {
+				t.Fatalf("live mapping %#x lost: %v", va, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Package stats provides the small statistics containers the simulator's
+// reports build on: fixed-bucket histograms for per-event quantities
+// (memory references per walk, exits per interval) and streaming summary
+// accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Hist is a histogram over small non-negative integer values with an
+// overflow bucket, sized for quantities like "memory references per walk"
+// (0..24 and a tail).
+type Hist struct {
+	buckets  []uint64
+	overflow uint64
+	count    uint64
+	sum      uint64
+	max      int
+}
+
+// NewHist creates a histogram with exact buckets for values 0..limit-1;
+// larger values land in the overflow bucket.
+func NewHist(limit int) *Hist {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Hist{buckets: make([]uint64, limit)}
+}
+
+// Add records one observation.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += uint64(v)
+	if v > h.max {
+		h.max = v
+	}
+	if v < len(h.buckets) {
+		h.buckets[v]++
+		return
+	}
+	h.overflow++
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of the observations.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Hist) Max() int { return h.max }
+
+// Bucket returns the count for exact value v (0 for overflow range).
+func (h *Hist) Bucket(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Overflow returns the count of observations at or above the bucket limit.
+func (h *Hist) Overflow() uint64 { return h.overflow }
+
+// Fraction returns the share of observations with exact value v.
+func (h *Hist) Fraction(v int) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.Bucket(v)) / float64(h.count)
+}
+
+// Percentile returns the smallest value x such that at least p (0..1) of
+// the observations are <= x. Overflow observations report the bucket limit.
+func (h *Hist) Percentile(p float64) int {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.buckets)
+}
+
+// Merge adds the contents of other into h. Both histograms must have the
+// same bucket limit.
+func (h *Hist) Merge(other *Hist) error {
+	if len(h.buckets) != len(other.buckets) {
+		return fmt.Errorf("stats: merging histograms with limits %d and %d", len(h.buckets), len(other.buckets))
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.overflow += other.overflow
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
+// Reset zeroes the histogram.
+func (h *Hist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.overflow, h.count, h.sum = 0, 0, 0
+	h.max = 0
+}
+
+// String renders the non-empty buckets compactly.
+func (h *Hist) String() string {
+	var parts []string
+	for v, c := range h.buckets {
+		if c > 0 {
+			parts = append(parts, fmt.Sprintf("%d:%d", v, c))
+		}
+	}
+	if h.overflow > 0 {
+		parts = append(parts, fmt.Sprintf(">=%d:%d", len(h.buckets), h.overflow))
+	}
+	return "Hist{" + strings.Join(parts, " ") + "}"
+}
+
+// Summary is a streaming accumulator for mean and extrema of float series
+// (Welford's algorithm for variance).
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the running mean.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Geomean computes the geometric mean of xs (which must be positive).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		acc += math.Log(x)
+	}
+	return math.Exp(acc / float64(len(xs)))
+}
+
+// Percentiles computes the given quantiles (0..1) of xs by sorting a copy.
+func Percentiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist(25)
+	for _, v := range []int{4, 4, 8, 24, 24, 24, 30} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Bucket(4) != 2 || h.Bucket(24) != 3 || h.Bucket(8) != 1 {
+		t.Errorf("buckets: %s", h)
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("Overflow = %d", h.Overflow())
+	}
+	if h.Max() != 30 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	want := float64(4+4+8+24+24+24+30) / 7
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+	if f := h.Fraction(4); math.Abs(f-2.0/7) > 1e-9 {
+		t.Errorf("Fraction(4) = %v", f)
+	}
+	if h.String() == "Hist{}" {
+		t.Error("empty String for populated hist")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Overflow() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestHistNegativeAndZeroLimit(t *testing.T) {
+	h := NewHist(0) // clamps to 1 bucket
+	h.Add(-5)       // clamps to 0
+	if h.Bucket(0) != 1 {
+		t.Errorf("negative add: %s", h)
+	}
+}
+
+func TestHistPercentile(t *testing.T) {
+	h := NewHist(10)
+	for i := 0; i < 90; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(9)
+	}
+	if p := h.Percentile(0.5); p != 1 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := h.Percentile(0.95); p != 9 {
+		t.Errorf("p95 = %d", p)
+	}
+	if p := h.Percentile(1.0); p != 9 {
+		t.Errorf("p100 = %d", p)
+	}
+	if (&Hist{}).Percentile(0.5) != 0 {
+		t.Error("empty percentile")
+	}
+	// Overflow observations report the limit.
+	h2 := NewHist(4)
+	h2.Add(100)
+	if p := h2.Percentile(1.0); p != 4 {
+		t.Errorf("overflow percentile = %d", p)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(8), NewHist(8)
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(9)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 4 || a.Bucket(2) != 2 || a.Overflow() != 1 || a.Max() != 9 {
+		t.Errorf("merged: %s max=%d", a, a.Max())
+	}
+	if err := a.Merge(NewHist(4)); err == nil {
+		t.Error("mismatched merge accepted")
+	}
+}
+
+// TestHistMeanProperty: histogram mean equals the true mean for any input
+// within the bucket range.
+func TestHistMeanProperty(t *testing.T) {
+	err := quick.Check(func(vals []uint8) bool {
+		h := NewHist(256)
+		sum := 0
+		for _, v := range vals {
+			h.Add(int(v))
+			sum += int(v)
+		}
+		if len(vals) == 0 {
+			return h.Mean() == 0
+		}
+		return math.Abs(h.Mean()-float64(sum)/float64(len(vals))) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.StdDev() != 0 || s.Mean() != 0 {
+		t.Error("zero-value summary")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 || s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("summary: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	// Known sample stddev of this classic data set: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s Summary
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 50
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Errorf("streaming mean %v vs direct %v", s.Mean(), mean)
+	}
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	want := math.Sqrt(varSum / float64(len(xs)-1))
+	if math.Abs(s.StdDev()-want) > 1e-6 {
+		t.Errorf("streaming stddev %v vs direct %v", s.StdDev(), want)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean = %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if Geomean([]float64{1, -1}) != 0 {
+		t.Error("non-positive geomean should be 0")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	ps := Percentiles(xs, 0, 0.5, 1)
+	if ps[0] != 1 || ps[1] != 3 || ps[2] != 5 {
+		t.Errorf("percentiles = %v", ps)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentiles mutated input")
+	}
+	if got := Percentiles(nil, 0.5); got[0] != 0 {
+		t.Error("empty percentiles")
+	}
+}

@@ -1,0 +1,255 @@
+package tlb
+
+import (
+	"fmt"
+
+	"agilepaging/internal/pagetable"
+)
+
+// ArrayConfig sizes one TLB array.
+type ArrayConfig struct {
+	Entries int
+	Ways    int // Ways >= Entries means fully associative
+}
+
+// Config describes the whole per-core hierarchy. The zero value is not
+// useful; start from SandyBridgeConfig.
+type Config struct {
+	L1D4K ArrayConfig
+	L1D2M ArrayConfig
+	L1D1G ArrayConfig
+	L1I4K ArrayConfig
+	L1I2M ArrayConfig
+	L24K  ArrayConfig // unified second level, 4K pages
+	L22M  ArrayConfig // unified second level, 2M pages (0 = absent, as on Sandy Bridge)
+}
+
+// SandyBridgeConfig reproduces the per-core TLB geometry of the paper's
+// evaluation machine (Table III, dual-socket Xeon E5-2430).
+func SandyBridgeConfig() Config {
+	return Config{
+		L1D4K: ArrayConfig{Entries: 64, Ways: 4},
+		L1D2M: ArrayConfig{Entries: 32, Ways: 4},
+		L1D1G: ArrayConfig{Entries: 4, Ways: 4}, // fully associative
+		L1I4K: ArrayConfig{Entries: 128, Ways: 4},
+		L1I2M: ArrayConfig{Entries: 8, Ways: 8}, // fully associative
+		L24K:  ArrayConfig{Entries: 512, Ways: 4},
+		L22M:  ArrayConfig{}, // Sandy Bridge's L2 TLB holds 4K entries only
+	}
+}
+
+// Scaled returns the configuration shrunk for scaled-down footprints,
+// keeping associativity. Workload footprints in this reproduction are
+// scaled down from the paper's multi-GB originals; shrinking the 4K TLB
+// arrays by the same factor preserves the 4K miss ratios that drive the
+// results (substitution #2 in DESIGN.md). Large-page arrays are already
+// tiny (4-32 entries), so they shrink by factor/4 to keep the relation
+// between 2M TLB reach and footprint in the published regime.
+func (c Config) Scaled(factor int) Config {
+	if factor <= 1 {
+		return c
+	}
+	s := func(a ArrayConfig, f int) ArrayConfig {
+		a.Entries /= f
+		if a.Entries < a.Ways {
+			a.Ways = a.Entries
+		}
+		if a.Entries > 0 && a.Ways < 1 {
+			a.Ways = 1
+		}
+		return a
+	}
+	large := factor / 4
+	if large < 1 {
+		large = 1
+	}
+	return Config{
+		L1D4K: s(c.L1D4K, factor), L1D2M: s(c.L1D2M, large), L1D1G: s(c.L1D1G, large),
+		L1I4K: s(c.L1I4K, factor), L1I2M: s(c.L1I2M, large),
+		L24K: s(c.L24K, factor), L22M: s(c.L22M, large),
+	}
+}
+
+// Stats counts hierarchy events.
+type Stats struct {
+	Lookups  uint64
+	L1Hits   uint64
+	L2Hits   uint64
+	Misses   uint64
+	Flushes  uint64
+	Invalids uint64
+}
+
+// MissRatio returns Misses/Lookups.
+func (s Stats) MissRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Lookups)
+}
+
+// Result is a successful TLB translation.
+type Result struct {
+	PA    uint64 // full translated physical address
+	Size  pagetable.Size
+	Flags pagetable.Entry
+	Level int // 1 = L1 hit, 2 = L2 hit
+}
+
+// Hierarchy is a per-core two-level TLB.
+type Hierarchy struct {
+	cfg   Config
+	d1    [3]*setAssoc // indexed by pagetable.Size
+	i1    [3]*setAssoc
+	l2    [3]*setAssoc
+	stats Stats
+}
+
+// NewHierarchy builds the hierarchy from cfg. Arrays with zero entries are
+// absent and never hit.
+func NewHierarchy(cfg Config) *Hierarchy {
+	mk := func(size pagetable.Size, a ArrayConfig) *setAssoc {
+		if a.Entries <= 0 {
+			return nil
+		}
+		return newSetAssoc(size, a.Entries, a.Ways)
+	}
+	return &Hierarchy{
+		cfg: cfg,
+		d1: [3]*setAssoc{
+			pagetable.Size4K: mk(pagetable.Size4K, cfg.L1D4K),
+			pagetable.Size2M: mk(pagetable.Size2M, cfg.L1D2M),
+			pagetable.Size1G: mk(pagetable.Size1G, cfg.L1D1G),
+		},
+		i1: [3]*setAssoc{
+			pagetable.Size4K: mk(pagetable.Size4K, cfg.L1I4K),
+			pagetable.Size2M: mk(pagetable.Size2M, cfg.L1I2M),
+		},
+		l2: [3]*setAssoc{
+			pagetable.Size4K: mk(pagetable.Size4K, cfg.L24K),
+			pagetable.Size2M: mk(pagetable.Size2M, cfg.L22M),
+		},
+	}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// Lookup probes the hierarchy for va in address space asid. fetch selects
+// the instruction side. An L2 hit refills the appropriate L1 array.
+func (h *Hierarchy) Lookup(asid uint16, va uint64, fetch bool) (Result, bool) {
+	h.stats.Lookups++
+	l1 := &h.d1
+	if fetch {
+		l1 = &h.i1
+	}
+	for sz, c := range l1 {
+		if c == nil {
+			continue
+		}
+		if pa, flags, ok := c.lookup(asid, va); ok {
+			h.stats.L1Hits++
+			size := pagetable.Size(sz)
+			return Result{PA: pa | va&size.Mask(), Size: size, Flags: flags, Level: 1}, true
+		}
+	}
+	for sz, c := range h.l2 {
+		if c == nil {
+			continue
+		}
+		if pa, flags, ok := c.lookup(asid, va); ok {
+			h.stats.L2Hits++
+			size := pagetable.Size(sz)
+			if refill := l1[sz]; refill != nil {
+				refill.insert(asid, pagetable.PageBase(va, size), pa, flags)
+			}
+			return Result{PA: pa | va&size.Mask(), Size: size, Flags: flags, Level: 2}, true
+		}
+	}
+	h.stats.Misses++
+	return Result{}, false
+}
+
+// Insert fills the translation for va into the L1 (and L2 when present)
+// arrays for its page size, as a hardware walker does after a walk.
+func (h *Hierarchy) Insert(asid uint16, va uint64, size pagetable.Size, paBase uint64, flags pagetable.Entry, fetch bool) {
+	base := pagetable.PageBase(va, size)
+	l1 := &h.d1
+	if fetch {
+		l1 = &h.i1
+	}
+	if c := l1[size]; c != nil {
+		c.insert(asid, base, paBase, flags)
+	}
+	if c := h.l2[size]; c != nil {
+		c.insert(asid, base, paBase, flags)
+	}
+}
+
+// InvalidatePage drops translations covering va for asid in every array
+// (all page sizes, both L1 sides and L2), modeling INVLPG.
+func (h *Hierarchy) InvalidatePage(asid uint16, va uint64) {
+	h.stats.Invalids++
+	for _, group := range []*[3]*setAssoc{&h.d1, &h.i1, &h.l2} {
+		for _, c := range group {
+			if c != nil {
+				c.invalidate(asid, va)
+			}
+		}
+	}
+}
+
+// FlushASID drops all non-global translations belonging to asid, modeling a
+// CR3 write with PGE enabled.
+func (h *Hierarchy) FlushASID(asid uint16) {
+	h.stats.Flushes++
+	for _, group := range []*[3]*setAssoc{&h.d1, &h.i1, &h.l2} {
+		for _, c := range group {
+			if c != nil {
+				c.flush(asid, false, true)
+			}
+		}
+	}
+}
+
+// FlushAll drops every translation including globals.
+func (h *Hierarchy) FlushAll() {
+	h.stats.Flushes++
+	for _, group := range []*[3]*setAssoc{&h.d1, &h.i1, &h.l2} {
+		for _, c := range group {
+			if c != nil {
+				c.flush(0, true, false)
+			}
+		}
+	}
+}
+
+// Occupancy reports valid entries per level for debugging.
+func (h *Hierarchy) Occupancy() (l1, l2 int) {
+	for _, c := range h.d1 {
+		if c != nil {
+			l1 += c.occupancy()
+		}
+	}
+	for _, c := range h.i1 {
+		if c != nil {
+			l1 += c.occupancy()
+		}
+	}
+	for _, c := range h.l2 {
+		if c != nil {
+			l2 += c.occupancy()
+		}
+	}
+	return l1, l2
+}
+
+// String summarizes the configuration.
+func (h *Hierarchy) String() string {
+	return fmt.Sprintf("TLB{L1D 4K:%d 2M:%d 1G:%d, L1I 4K:%d 2M:%d, L2 4K:%d 2M:%d}",
+		h.cfg.L1D4K.Entries, h.cfg.L1D2M.Entries, h.cfg.L1D1G.Entries,
+		h.cfg.L1I4K.Entries, h.cfg.L1I2M.Entries, h.cfg.L24K.Entries, h.cfg.L22M.Entries)
+}

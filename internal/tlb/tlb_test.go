@@ -1,0 +1,272 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"agilepaging/internal/pagetable"
+)
+
+func newSB() *Hierarchy { return NewHierarchy(SandyBridgeConfig()) }
+
+func TestMissThenHit(t *testing.T) {
+	h := newSB()
+	if _, ok := h.Lookup(1, 0x1234, false); ok {
+		t.Fatal("hit in empty TLB")
+	}
+	h.Insert(1, 0x1000, pagetable.Size4K, 0xabcd000, pagetable.FlagWrite, false)
+	r, ok := h.Lookup(1, 0x1234, false)
+	if !ok {
+		t.Fatal("miss after insert")
+	}
+	if r.PA != 0xabcd234 {
+		t.Errorf("PA = %#x, want 0xabcd234", r.PA)
+	}
+	if r.Size != pagetable.Size4K || r.Level != 1 {
+		t.Errorf("size/level = %v/%d", r.Size, r.Level)
+	}
+	s := h.Stats()
+	if s.Lookups != 2 || s.Misses != 1 || s.L1Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestASIDSeparation(t *testing.T) {
+	h := newSB()
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	if _, ok := h.Lookup(2, 0x1000, false); ok {
+		t.Error("cross-ASID hit")
+	}
+	if _, ok := h.Lookup(1, 0x1000, false); !ok {
+		t.Error("same-ASID miss")
+	}
+}
+
+func TestGlobalEntriesCrossASID(t *testing.T) {
+	h := newSB()
+	h.Insert(1, 0xffff000, pagetable.Size4K, 0x2000, pagetable.FlagGlobal, false)
+	if _, ok := h.Lookup(2, 0xffff000, false); !ok {
+		t.Error("global entry should hit from any ASID")
+	}
+	h.FlushASID(2)
+	if _, ok := h.Lookup(1, 0xffff000, false); !ok {
+		t.Error("global entry should survive FlushASID")
+	}
+	h.FlushAll()
+	if _, ok := h.Lookup(1, 0xffff000, false); ok {
+		t.Error("global entry should not survive FlushAll")
+	}
+}
+
+func TestLargePageHit(t *testing.T) {
+	h := newSB()
+	h.Insert(1, 0x40000000, pagetable.Size2M, 0x80000000, 0, false)
+	r, ok := h.Lookup(1, 0x40000000+0x12345, false)
+	if !ok {
+		t.Fatal("2M miss")
+	}
+	if r.PA != 0x80012345 {
+		t.Errorf("PA = %#x", r.PA)
+	}
+	if r.Size != pagetable.Size2M {
+		t.Errorf("size = %v", r.Size)
+	}
+	h.Insert(1, 0x80000000, pagetable.Size1G, 0x100000000, 0, false)
+	r, ok = h.Lookup(1, 0x80000000+0x3fffffff&^0x3, false)
+	if !ok || r.Size != pagetable.Size1G {
+		t.Errorf("1G lookup: ok=%v r=%+v", ok, r)
+	}
+}
+
+func TestL2RefillsL1(t *testing.T) {
+	h := newSB()
+	// Fill the 4-way L1D set for vpn class of 0x1000 with conflicting VPNs,
+	// then verify the displaced entry hits in L2 and refills L1.
+	sets := 64 / 4
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	for i := 1; i <= 4; i++ {
+		va := uint64(0x1000) + uint64(i*sets)*4096
+		h.Insert(1, va, pagetable.Size4K, 0x3000, 0, false)
+	}
+	r, ok := h.Lookup(1, 0x1000, false)
+	if !ok {
+		t.Fatal("expected L2 hit after L1 eviction")
+	}
+	if r.Level != 2 {
+		t.Fatalf("hit level = %d, want 2", r.Level)
+	}
+	r, ok = h.Lookup(1, 0x1000, false)
+	if !ok || r.Level != 1 {
+		t.Errorf("after refill: ok=%v level=%d, want L1 hit", ok, r.Level)
+	}
+}
+
+func TestInstructionSideSeparate(t *testing.T) {
+	h := newSB()
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, true)
+	// I-side insert fills L2 too, so a data lookup hits at L2, not L1.
+	r, ok := h.Lookup(1, 0x1000, false)
+	if !ok {
+		t.Fatal("data lookup should hit unified L2")
+	}
+	if r.Level != 1+1 {
+		t.Errorf("data hit level = %d, want 2", r.Level)
+	}
+	r, ok = h.Lookup(1, 0x1000, true)
+	if !ok || r.Level != 1 {
+		t.Errorf("fetch hit: ok=%v level=%d, want L1", ok, r.Level)
+	}
+}
+
+func TestInvalidatePage(t *testing.T) {
+	h := newSB()
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	h.Insert(1, 0x200000, pagetable.Size2M, 0x400000, 0, false)
+	h.InvalidatePage(1, 0x1000)
+	if _, ok := h.Lookup(1, 0x1000, false); ok {
+		t.Error("4K entry survived INVLPG")
+	}
+	if _, ok := h.Lookup(1, 0x200000, false); !ok {
+		t.Error("unrelated 2M entry dropped")
+	}
+	h.InvalidatePage(1, 0x200000+0x1999)
+	if _, ok := h.Lookup(1, 0x200000, false); ok {
+		t.Error("2M entry survived INVLPG of interior address")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := newSetAssoc(pagetable.Size4K, 4, 4) // one set, 4 ways
+	for i := uint64(0); i < 4; i++ {
+		c.insert(1, i*4096, i*4096+0x100000, 0)
+	}
+	// Touch entries 0..2 so entry 3 is LRU.
+	for i := uint64(0); i < 3; i++ {
+		if _, _, ok := c.lookup(1, i*4096); !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+	c.insert(1, 5*4096, 0x500000, 0)
+	if _, _, ok := c.lookup(1, 3*4096); ok {
+		t.Error("LRU entry 3 should have been evicted")
+	}
+	for i := uint64(0); i < 3; i++ {
+		if _, _, ok := c.lookup(1, i*4096); !ok {
+			t.Errorf("recently used entry %d evicted", i)
+		}
+	}
+}
+
+func TestInsertRefreshesExisting(t *testing.T) {
+	c := newSetAssoc(pagetable.Size4K, 4, 4)
+	c.insert(1, 0x1000, 0x2000, 0)
+	c.insert(1, 0x1000, 0x9000, pagetable.FlagDirty) // update in place
+	if c.occupancy() != 1 {
+		t.Fatalf("occupancy = %d after duplicate insert, want 1", c.occupancy())
+	}
+	pa, flags, ok := c.lookup(1, 0x1000)
+	if !ok || pa != 0x9000 || flags&pagetable.FlagDirty == 0 {
+		t.Errorf("refreshed entry: pa=%#x flags=%v ok=%v", pa, flags, ok)
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	cfg := SandyBridgeConfig().Scaled(4)
+	if cfg.L1D4K.Entries != 16 || cfg.L24K.Entries != 128 {
+		t.Errorf("scaled config = %+v", cfg)
+	}
+	// Large-page arrays scale by factor/4: unchanged at factor 4.
+	if cfg.L1D2M.Entries != 32 || cfg.L1D1G.Entries != 4 {
+		t.Errorf("large-page scaling = %+v / %+v", cfg.L1D2M, cfg.L1D1G)
+	}
+	cfg8 := SandyBridgeConfig().Scaled(8)
+	if cfg8.L1D4K.Entries != 8 || cfg8.L1D2M.Entries != 16 || cfg8.L1D1G.Entries != 2 {
+		t.Errorf("factor-8 scaling = %+v", cfg8)
+	}
+	if got := SandyBridgeConfig().Scaled(1); got != SandyBridgeConfig() {
+		t.Error("Scaled(1) should be identity")
+	}
+	h := NewHierarchy(cfg)
+	h.Insert(1, 0, pagetable.Size4K, 0, 0, false)
+	if _, ok := h.Lookup(1, 0, false); !ok {
+		t.Error("scaled hierarchy broken")
+	}
+}
+
+func TestAbsentArrayNeverHits(t *testing.T) {
+	cfg := Config{L1D4K: ArrayConfig{Entries: 8, Ways: 2}} // everything else absent
+	h := NewHierarchy(cfg)
+	h.Insert(1, 0x200000, pagetable.Size2M, 0x400000, 0, false)
+	if _, ok := h.Lookup(1, 0x200000, false); ok {
+		t.Error("hit in absent 2M array")
+	}
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	if _, ok := h.Lookup(1, 0x1000, false); !ok {
+		t.Error("present 4K array should hit")
+	}
+}
+
+func TestMissRatioAndReset(t *testing.T) {
+	h := newSB()
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	h.Lookup(1, 0x1000, false)
+	h.Lookup(1, 0x5000, false)
+	if got := h.Stats().MissRatio(); got != 0.5 {
+		t.Errorf("MissRatio = %v, want 0.5", got)
+	}
+	h.ResetStats()
+	if h.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+	if (Stats{}).MissRatio() != 0 {
+		t.Error("MissRatio of zero stats should be 0")
+	}
+}
+
+// TestCoherenceProperty: after any interleaving of inserts/invalidates, a
+// lookup never returns a translation that was invalidated after its last
+// insert.
+func TestCoherenceProperty(t *testing.T) {
+	h := newSB()
+	rng := rand.New(rand.NewSource(42))
+	live := map[uint64]uint64{} // va -> pa of most recent insert, deleted on invalidate
+	for i := 0; i < 5000; i++ {
+		va := uint64(rng.Intn(256)) * 4096
+		switch rng.Intn(3) {
+		case 0:
+			pa := uint64(rng.Intn(1<<20)) * 4096
+			h.Insert(1, va, pagetable.Size4K, pa, 0, false)
+			live[va] = pa
+		case 1:
+			h.InvalidatePage(1, va)
+			delete(live, va)
+		case 2:
+			r, ok := h.Lookup(1, va, false)
+			if !ok {
+				continue
+			}
+			want, stillLive := live[va]
+			if !stillLive {
+				t.Fatalf("lookup(%#x) hit a stale/invalidated entry", va)
+			}
+			if r.PA != want {
+				t.Fatalf("lookup(%#x) = %#x, want %#x", va, r.PA, want)
+			}
+		}
+	}
+}
+
+func TestOccupancyAndString(t *testing.T) {
+	h := newSB()
+	if l1, l2 := h.Occupancy(); l1 != 0 || l2 != 0 {
+		t.Errorf("empty occupancy = %d/%d", l1, l2)
+	}
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	l1, l2 := h.Occupancy()
+	if l1 != 1 || l2 != 1 {
+		t.Errorf("occupancy = %d/%d, want 1/1", l1, l2)
+	}
+	if h.String() == "" {
+		t.Error("empty String")
+	}
+}

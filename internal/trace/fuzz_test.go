@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/workload"
+)
+
+// FuzzReadOps: arbitrary bytes must never panic the op-stream decoder, and
+// anything it accepts must re-encode.
+func FuzzReadOps(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteOps(&seed, []workload.Op{
+		{Kind: workload.OpCreateProcess},
+		{Kind: workload.OpMmap, VA: 0x1000, Len: 4096, Size: pagetable.Size4K},
+		{Kind: workload.OpAccess, VA: 0x1000, Write: true},
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x4f, 0x50, 0x41, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := ReadOps(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteOps(&buf, ops); err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+	})
+}
+
+// FuzzLoadMissLog: same robustness contract for the miss-log decoder.
+func FuzzLoadMissLog(f *testing.F) {
+	var seed bytes.Buffer
+	l := &MissLog{Records: []MissRecord{{VA: 0x1000, Refs: 4}}}
+	_ = l.Save(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := LoadMissLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		log.Summary() // must not panic
+	})
+}

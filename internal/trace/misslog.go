@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"agilepaging/internal/perfmodel"
+	"agilepaging/internal/walker"
+)
+
+// MissRecord is one TLB miss as BadgerTrap would observe it: the faulting
+// address plus the walk's classification.
+type MissRecord struct {
+	VA             uint64
+	Refs           uint16
+	NestedLevels   uint8 // 0 = full shadow, 1..4 = trailing nested levels
+	GptrTranslated bool  // full nested walk (paid the gptr translation)
+	Write          bool
+}
+
+// MissLog accumulates TLB-miss records.
+type MissLog struct {
+	Records []MissRecord
+}
+
+// Observer returns a cpu.Machine miss-observer that appends to the log.
+func (l *MissLog) Observer() func(va uint64, res walker.Result) {
+	return func(va uint64, res walker.Result) {
+		l.Records = append(l.Records, MissRecord{
+			VA:             va,
+			Refs:           uint16(res.Refs),
+			NestedLevels:   uint8(res.NestedLevels),
+			GptrTranslated: res.GptrTranslated,
+		})
+	}
+}
+
+// MissSummary is the classification the paper's Table VI reports.
+type MissSummary struct {
+	Total uint64
+	// ByClass[0] = full shadow, [1..4] = switch with d trailing nested
+	// levels (the paper's L4..L1 columns), [5] = full nested.
+	ByClass [6]uint64
+	SumRefs uint64
+}
+
+// Fraction returns ByClass[c] / Total.
+func (s MissSummary) Fraction(c int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.ByClass[c]) / float64(s.Total)
+}
+
+// AvgRefs is the average memory accesses per miss (Table VI last column).
+func (s MissSummary) AvgRefs() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.SumRefs) / float64(s.Total)
+}
+
+// NestedFractions converts the summary into the perfmodel's F_Ni form:
+// index i = fraction switching with the switch at level i (1 = top, which
+// is NestedLevels == 4; 4 = leaf-only, NestedLevels == 1). Full-nested
+// misses count toward F_N1 as the paper's most conservative class.
+func (s MissSummary) NestedFractions() perfmodel.NestedFractions {
+	var f perfmodel.NestedFractions
+	if s.Total == 0 {
+		return f
+	}
+	f[1] = s.Fraction(4) + s.Fraction(5) // switched at top level / fully nested
+	f[2] = s.Fraction(3)
+	f[3] = s.Fraction(2)
+	f[4] = s.Fraction(1)
+	return f
+}
+
+// Summary classifies the log.
+func (l *MissLog) Summary() MissSummary {
+	var s MissSummary
+	for _, r := range l.Records {
+		s.Total++
+		s.SumRefs += uint64(r.Refs)
+		switch {
+		case r.GptrTranslated:
+			s.ByClass[5]++
+		case r.NestedLevels == 0:
+			s.ByClass[0]++
+		default:
+			d := int(r.NestedLevels)
+			if d > 4 {
+				d = 4
+			}
+			s.ByClass[d]++
+		}
+	}
+	return s
+}
+
+// Save serializes the log.
+func (l *MissLog) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, missMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(l.Records))); err != nil {
+		return err
+	}
+	for _, r := range l.Records {
+		var flags uint8
+		if r.GptrTranslated {
+			flags |= 1
+		}
+		if r.Write {
+			flags |= 2
+		}
+		rec := missRecord{VA: r.VA, Refs: r.Refs, Nested: r.NestedLevels, Flags: flags}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+type missRecord struct {
+	VA     uint64
+	Refs   uint16
+	Nested uint8
+	Flags  uint8
+	_      uint32
+}
+
+// LoadMissLog deserializes a log written by Save.
+func LoadMissLog(r io.Reader) (*MissLog, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != missMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadFormat, magic)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	l := &MissLog{Records: make([]MissRecord, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var rec missRecord
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("trace: miss %d: %w", i, err)
+		}
+		l.Records = append(l.Records, MissRecord{
+			VA: rec.VA, Refs: rec.Refs, NestedLevels: rec.Nested,
+			GptrTranslated: rec.Flags&1 != 0, Write: rec.Flags&2 != 0,
+		})
+	}
+	return l, nil
+}

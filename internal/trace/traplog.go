@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"agilepaging/internal/vmm"
+)
+
+// TrapLog counts VM exits by kind — the step-1 artifact from which the
+// paper derives the fraction of VMM interventions agile paging eliminates
+// (F_Vi in Table IV).
+type TrapLog struct {
+	Counts [vmm.NumTrapKinds]uint64
+}
+
+// Observer returns a vmm trap-observer that updates the log.
+func (l *TrapLog) Observer() func(vmm.TrapKind) {
+	return func(k vmm.TrapKind) { l.Counts[k]++ }
+}
+
+// Total sums all trap counts.
+func (l *TrapLog) Total() uint64 {
+	var n uint64
+	for _, c := range l.Counts {
+		n += c
+	}
+	return n
+}
+
+// AvoidedCycles computes Σ F_Vi·CE_i given the shadow-run log and the
+// agile-run log for the same workload: the cycles of the interventions
+// agile paging eliminated, valued with the cost model.
+func AvoidedCycles(shadow, agile *TrapLog, costs vmm.CostModel) uint64 {
+	var cycles uint64
+	for k := vmm.TrapKind(0); k < vmm.NumTrapKinds; k++ {
+		if shadow.Counts[k] > agile.Counts[k] {
+			cycles += (shadow.Counts[k] - agile.Counts[k]) * costs.Cycles[k]
+		}
+	}
+	return cycles
+}
+
+// FractionAvoided reports the per-kind F_Vi: the fraction of shadow-run
+// traps of each kind that the agile run does not take.
+func FractionAvoided(shadow, agile *TrapLog) [vmm.NumTrapKinds]float64 {
+	var f [vmm.NumTrapKinds]float64
+	for k := range shadow.Counts {
+		if shadow.Counts[k] == 0 {
+			continue
+		}
+		if agile.Counts[k] >= shadow.Counts[k] {
+			continue
+		}
+		f[k] = float64(shadow.Counts[k]-agile.Counts[k]) / float64(shadow.Counts[k])
+	}
+	return f
+}
+
+// Save serializes the log.
+func (l *TrapLog) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, trapMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(vmm.NumTrapKinds)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, l.Counts); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadTrapLog deserializes a log written by Save.
+func LoadTrapLog(r io.Reader) (*TrapLog, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != trapMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadFormat, magic)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n != uint32(vmm.NumTrapKinds) {
+		return nil, fmt.Errorf("%w: trap kind count %d", ErrBadFormat, n)
+	}
+	l := &TrapLog{}
+	if err := binary.Read(br, binary.LittleEndian, &l.Counts); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

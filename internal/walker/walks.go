@@ -1,0 +1,243 @@
+package walker
+
+import "agilepaging/internal/pagetable"
+
+// nativeWalk is the base-native 1D state machine (paper Figure 2a).
+func (w *Walker) nativeWalk(st *walkState, regs Regs, va uint64, write bool) (Result, *Fault) {
+	return w.oneDWalk(st, regs, va, write, TableNative)
+}
+
+// shadowWalk is the shadow-paging state machine (paper Figure 2c): a native
+// walk over the shadow page table. The VMM manages A/D bits for shadow
+// entries (set at fill time / via write protection), so the hardware does
+// not write them here.
+func (w *Walker) shadowWalk(st *walkState, regs Regs, va uint64) (Result, *Fault) {
+	return w.oneDWalk(st, regs, va, false, TableShadow)
+}
+
+// oneDWalk walks a single host-space table rooted at regs.Root. For native
+// tables the hardware sets accessed (and on stores, dirty) bits in the leaf.
+func (w *Walker) oneDWalk(st *walkState, regs Regs, va uint64, write bool, kind TableKind) (Result, *Fault) {
+	ptr := regs.Root
+	level := 0
+	if w.pwc != nil {
+		if p, l, nested, ok := w.pwc.Lookup(regs.ASID, va); ok && !nested {
+			ptr, level = p, l
+		}
+	}
+	for ; level < pagetable.NumLevels; level++ {
+		e := w.readEntry(st, kind, level, ptr, pagetable.IndexAt(va, level))
+		if !e.Present() {
+			return Result{}, w.fault(st, &Fault{Kind: FaultNotPresent, VA: va, Level: level})
+		}
+		size, leafOK := pagetable.SizeAtLevel(level)
+		if level == pagetable.NumLevels-1 || (e.Huge() && leafOK) {
+			if kind == TableNative {
+				ne := e.WithFlags(pagetable.FlagAccessed)
+				if write && e.Writable() {
+					ne = ne.WithFlags(pagetable.FlagDirty)
+				}
+				if ne != e {
+					w.writeEntry(ptr, pagetable.IndexAt(va, level), ne)
+					e = ne
+				}
+			}
+			return w.finish(st, Result{
+				HPA:        e.Addr() | va&size.Mask(),
+				Size:       size,
+				Flags:      e.Flags(),
+				LeafShadow: kind == TableShadow,
+			}), nil
+		}
+		ptr = e.Addr()
+		if w.pwc != nil {
+			w.pwc.Insert(regs.ASID, va, level+1, ptr, false)
+		}
+	}
+	panic("walker: unreachable")
+}
+
+// hostTranslate translates a guest-physical address through the host page
+// table (paper Figure 2d/e helper), charging up to NumLevels references.
+// The nested TLB short-circuits repeats (paper §II-A).
+func (w *Walker) hostTranslate(st *walkState, regs Regs, gpa uint64) (hpa uint64, writable bool, hostSize pagetable.Size, fault *Fault) {
+	if w.ntlb != nil {
+		if base, wb, ok := w.ntlb.Lookup(regs.VMID, gpa); ok {
+			// The nested TLB caches at 4K granularity; report 4K so callers
+			// never assume contiguity beyond the cached page.
+			return base | gpa&(memFrameMask), wb, pagetable.Size4K, nil
+		}
+	}
+	ptr := regs.HPTRoot
+	for level := 0; level < pagetable.NumLevels; level++ {
+		e := w.readEntry(st, TableHost, level, ptr, pagetable.IndexAt(gpa, level))
+		if !e.Present() {
+			return 0, false, pagetable.Size4K, w.fault(st, &Fault{Kind: FaultHost, VA: gpa, GPA: gpa, Level: level})
+		}
+		size, leafOK := pagetable.SizeAtLevel(level)
+		if level == pagetable.NumLevels-1 || (e.Huge() && leafOK) {
+			hpa = e.Addr() | gpa&size.Mask()
+			if w.ntlb != nil {
+				w.ntlb.Insert(regs.VMID, gpa, hpa&^memFrameMask, e.Writable())
+			}
+			return hpa, e.Writable(), size, nil
+		}
+		ptr = e.Addr()
+	}
+	panic("walker: unreachable")
+}
+
+const memFrameMask = uint64(1<<12) - 1
+
+// nestedWalk is the 2D state machine (paper Figure 2b): it first translates
+// gptr through the host table, then walks the guest table, translating
+// every guest-physical pointer it loads — up to 24 references with 4K pages
+// at both levels.
+func (w *Walker) nestedWalk(st *walkState, regs Regs, va uint64, write bool) (Result, *Fault) {
+	level := 0
+	var ptr uint64 // host-physical address of the current guest table page
+	gptrPaid := false
+	resumed := false
+	if w.pwc != nil {
+		if p, l, nested, ok := w.pwc.Lookup(regs.ASID, va); ok && nested {
+			ptr, level, resumed = p, l, true
+		}
+	}
+	if !resumed {
+		hpa, _, _, f := w.hostTranslate(st, regs, regs.GPTRoot)
+		if f != nil {
+			return Result{}, f
+		}
+		ptr = hpa
+		gptrPaid = true
+	}
+	nestedLevels := 0
+	for ; level < pagetable.NumLevels; level++ {
+		idx := pagetable.IndexAt(va, level)
+		e := w.readEntry(st, TableGuest, level, ptr, idx)
+		nestedLevels++
+		if !e.Present() {
+			return Result{}, w.fault(st, &Fault{Kind: FaultGuest, VA: va, Level: level, Write: write})
+		}
+		size, leafOK := pagetable.SizeAtLevel(level)
+		if level == pagetable.NumLevels-1 || (e.Huge() && leafOK) {
+			return w.nestedLeaf(st, regs, va, write, ptr, idx, e, size, nestedLevels, gptrPaid)
+		}
+		hpa, _, _, f := w.hostTranslate(st, regs, e.Addr())
+		if f != nil {
+			return Result{}, f
+		}
+		ptr = hpa
+		if w.pwc != nil {
+			w.pwc.Insert(regs.ASID, va, level+1, ptr, true)
+		}
+	}
+	panic("walker: unreachable")
+}
+
+// nestedLeaf completes a walk whose leaf was found in the guest table: the
+// hardware sets guest accessed/dirty bits directly (paper §III-B, "Pages
+// that end in nested mode instead use the hardware page walker ... to
+// update guest page table accessed and dirty bits") and translates the
+// final guest-physical address.
+func (w *Walker) nestedLeaf(st *walkState, regs Regs, va uint64, write bool, tableHPA uint64, idx int, e pagetable.Entry, size pagetable.Size, nestedLevels int, gptrPaid bool) (Result, *Fault) {
+	ne := e.WithFlags(pagetable.FlagAccessed)
+	if write && e.Writable() {
+		ne = ne.WithFlags(pagetable.FlagDirty)
+	}
+	if ne != e {
+		w.writeEntry(tableHPA, idx, ne)
+	}
+	gpa := e.Addr() | va&size.Mask()
+	hpa, hostW, hostSize, f := w.hostTranslate(st, regs, gpa)
+	if f != nil {
+		return Result{}, f
+	}
+	flags := e.Flags()
+	if !hostW {
+		flags = flags.WithoutFlags(pagetable.FlagWrite)
+	}
+	// When the host backs this guest page at a smaller size, the TLB entry
+	// splinters to the host size (paper §V, "Large Page Support").
+	if hostSize.Bytes() < size.Bytes() {
+		size = hostSize
+	}
+	return w.finish(st, Result{
+		HPA:            hpa,
+		Size:           size,
+		Flags:          flags,
+		GPA:            gpa,
+		NestedLevels:   nestedLevels,
+		GptrTranslated: gptrPaid,
+	}), nil
+}
+
+// agileWalk is the paper's Figure 4 state machine: start in shadow mode at
+// the shadow root (or directly in nested mode under RootSwitch/FullNested)
+// and switch to nested mode when an entry with the switching bit is read.
+func (w *Walker) agileWalk(st *walkState, regs Regs, va uint64, write bool) (Result, *Fault) {
+	if regs.FullNested {
+		// The paper encodes this as sptr == gptr.
+		return w.nestedWalk(st, regs, va, write)
+	}
+	nested := regs.RootSwitch
+	ptr := regs.Root
+	level := 0
+	if w.pwc != nil {
+		if p, l, n, ok := w.pwc.Lookup(regs.ASID, va); ok {
+			ptr, level, nested = p, l, n
+		}
+	}
+	nestedLevels := 0
+	for ; level < pagetable.NumLevels; level++ {
+		idx := pagetable.IndexAt(va, level)
+		if nested {
+			e := w.readEntry(st, TableGuest, level, ptr, idx)
+			nestedLevels++
+			if !e.Present() {
+				return Result{}, w.fault(st, &Fault{Kind: FaultGuest, VA: va, Level: level, Write: write})
+			}
+			size, leafOK := pagetable.SizeAtLevel(level)
+			if level == pagetable.NumLevels-1 || (e.Huge() && leafOK) {
+				return w.nestedLeaf(st, regs, va, write, ptr, idx, e, size, nestedLevels, false)
+			}
+			hpa, _, _, f := w.hostTranslate(st, regs, e.Addr())
+			if f != nil {
+				return Result{}, f
+			}
+			ptr = hpa
+			if w.pwc != nil {
+				w.pwc.Insert(regs.ASID, va, level+1, ptr, true)
+			}
+			continue
+		}
+		e := w.readEntry(st, TableShadow, level, ptr, idx)
+		if !e.Present() {
+			return Result{}, w.fault(st, &Fault{Kind: FaultNotPresent, VA: va, Level: level, Write: write})
+		}
+		if e.Switching() {
+			// Switch to nested mode: the entry holds the host-physical
+			// address of the next *guest* table level (paper §III-A).
+			nested = true
+			ptr = e.Addr()
+			if w.pwc != nil && level < pagetable.NumLevels-1 {
+				w.pwc.Insert(regs.ASID, va, level+1, ptr, true)
+			}
+			continue
+		}
+		size, leafOK := pagetable.SizeAtLevel(level)
+		if level == pagetable.NumLevels-1 || (e.Huge() && leafOK) {
+			return w.finish(st, Result{
+				HPA:        e.Addr() | va&size.Mask(),
+				Size:       size,
+				Flags:      e.Flags(),
+				LeafShadow: true,
+			}), nil
+		}
+		ptr = e.Addr()
+		if w.pwc != nil {
+			w.pwc.Insert(regs.ASID, va, level+1, ptr, false)
+		}
+	}
+	panic("walker: unreachable")
+}

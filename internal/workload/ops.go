@@ -1,0 +1,106 @@
+// Package workload generates the operation streams the simulated machine
+// executes. Each of the paper's eight evaluation workloads (Table V) has a
+// synthetic profile that reproduces the characteristics driving the
+// results: memory footprint (scaled down ~1000×), access locality, TLB
+// miss pressure, and — critically for shadow versus nested paging —
+// page-table update behaviour (demand faults, mmap/munmap churn,
+// copy-on-write, context switches, reclaim scans).
+package workload
+
+import (
+	"fmt"
+
+	"agilepaging/internal/pagetable"
+)
+
+// OpKind identifies one machine operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpCreateProcess creates a guest process (PID doubles as ASID).
+	OpCreateProcess OpKind = iota
+	// OpCtxSwitch switches the CPU to process PID.
+	OpCtxSwitch
+	// OpMmap registers region [VA, VA+Len) with page size Size.
+	OpMmap
+	// OpPopulate eagerly maps the region containing VA.
+	OpPopulate
+	// OpMunmap removes the region containing VA.
+	OpMunmap
+	// OpMarkCOW write-protects the region containing VA copy-on-write.
+	OpMarkCOW
+	// OpAccess performs one load (Write=false) or store (Write=true) at VA.
+	OpAccess
+	// OpReclaim runs the clock reclaimer over N pages.
+	OpReclaim
+	// OpCollapse promotes the 2M range at VA from 4K mappings to one 2M
+	// mapping (THP).
+	OpCollapse
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreateProcess:
+		return "create-process"
+	case OpCtxSwitch:
+		return "ctx-switch"
+	case OpMmap:
+		return "mmap"
+	case OpPopulate:
+		return "populate"
+	case OpMunmap:
+		return "munmap"
+	case OpMarkCOW:
+		return "mark-cow"
+	case OpAccess:
+		return "access"
+	case OpReclaim:
+		return "reclaim"
+	case OpCollapse:
+		return "collapse"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one operation for the machine to execute.
+type Op struct {
+	Kind OpKind
+	PID  int
+	// Core selects the CPU core executing the op (thread affinity for
+	// multithreaded workloads); out-of-range values clamp to core 0.
+	Core  int
+	VA    uint64
+	Len   uint64
+	Size  pagetable.Size
+	Write bool
+	// Fetch marks an instruction fetch (translated by the I-side TLBs).
+	Fetch bool
+	N     int
+}
+
+// Generator produces an op stream.
+type Generator interface {
+	// Name identifies the workload.
+	Name() string
+	// Next returns the next op; ok reports whether one was produced.
+	Next() (op Op, ok bool)
+	// Reset rewinds the generator to the beginning of its stream.
+	Reset()
+}
+
+// Collect drains up to limit ops from g (limit <= 0 means all).
+func Collect(g Generator, limit int) []Op {
+	var out []Op
+	for {
+		op, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, op)
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import "math/rand"
+
+// PatternKind selects the access-locality model of a workload's steady
+// phase.
+type PatternKind int
+
+// Access patterns.
+const (
+	// PatternUniform draws addresses uniformly over the footprint
+	// (cache-hostile, like canneal's random swaps).
+	PatternUniform PatternKind = iota
+	// PatternZipf draws addresses from a Zipf distribution (skewed key
+	// popularity, like memcached).
+	PatternZipf
+	// PatternChase follows a fixed pseudo-random permutation of the pages
+	// (dependent pointer chasing, like mcf's arcs or graph500 traversal).
+	PatternChase
+	// PatternStream walks the footprint sequentially with occasional random
+	// jumps (tigr's scan-then-probe behaviour).
+	PatternStream
+)
+
+// String names the pattern.
+func (p PatternKind) String() string {
+	switch p {
+	case PatternUniform:
+		return "uniform"
+	case PatternZipf:
+		return "zipf"
+	case PatternChase:
+		return "chase"
+	case PatternStream:
+		return "stream"
+	}
+	return "unknown"
+}
+
+// pattern generates page-granular offsets within a footprint of n pages.
+type pattern struct {
+	kind  PatternKind
+	n     uint64
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	state uint64 // chase position / stream cursor
+	// chase walks x -> (x + stride) mod n with gcd(stride, n) == 1: a
+	// full-cycle permutation of the pages, so every page's reuse distance
+	// equals the footprint — dependent pointer chasing with no TLB locality.
+	chaseStride uint64
+}
+
+func newPattern(kind PatternKind, pages uint64, zipfS float64, rng *rand.Rand) *pattern {
+	if pages == 0 {
+		pages = 1
+	}
+	p := &pattern{kind: kind, n: pages, rng: rng}
+	switch kind {
+	case PatternZipf:
+		if zipfS <= 1.0 {
+			zipfS = 1.1
+		}
+		p.zipf = rand.NewZipf(rng, zipfS, 1, pages-1)
+		// Permute rank -> page so popularity is uncorrelated with address
+		// order, as heap placement is in practice.
+		stride := pages*5/8 | 1
+		for gcd(stride, pages) != 1 {
+			stride += 2
+		}
+		p.chaseStride = stride
+	case PatternChase:
+		stride := pages/2 + uint64(rng.Int63n(int64(pages/2+1))) | 1
+		for gcd(stride, pages) != 1 {
+			stride += 2
+		}
+		p.chaseStride = stride
+		p.state = uint64(rng.Int63()) % pages
+	}
+	return p
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// next returns the next page index in [0, n).
+func (p *pattern) next() uint64 {
+	switch p.kind {
+	case PatternUniform:
+		return p.rng.Uint64() % p.n
+	case PatternZipf:
+		return (p.zipf.Uint64() * p.chaseStride) % p.n
+	case PatternChase:
+		p.state = (p.state + p.chaseStride) % p.n
+		return p.state
+	case PatternStream:
+		// 1-in-64 random jump, otherwise sequential.
+		if p.rng.Intn(64) == 0 {
+			p.state = p.rng.Uint64() % p.n
+		} else {
+			p.state = (p.state + 1) % p.n
+		}
+		return p.state
+	}
+	panic("workload: invalid pattern")
+}

@@ -1,0 +1,351 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"agilepaging/internal/pagetable"
+)
+
+func TestSyntheticSetupOpsComeFirst(t *testing.T) {
+	prof, ok := ProfileByName("mcf")
+	if !ok {
+		t.Fatal("mcf profile missing")
+	}
+	g := New(prof, pagetable.Size4K, 100, 1)
+	ops := Collect(g, 0)
+	if ops[0].Kind != OpCreateProcess {
+		t.Fatalf("first op = %v", ops[0].Kind)
+	}
+	var kinds []OpKind
+	for _, op := range ops[:4] {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []OpKind{OpCreateProcess, OpMmap, OpPopulate, OpCtxSwitch}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Errorf("setup op %d = %v, want %v", i, kinds[i], k)
+		}
+	}
+	// Exactly 100 steady accesses for a churn-free profile.
+	accesses := 0
+	for _, op := range ops {
+		if op.Kind == OpAccess {
+			accesses++
+		}
+	}
+	if accesses != 100 {
+		t.Errorf("accesses = %d, want 100", accesses)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	prof, _ := ProfileByName("dedup")
+	a := Collect(New(prof, pagetable.Size4K, 2000, 7), 0)
+	b := Collect(New(prof, pagetable.Size4K, 2000, 7), 0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different seed differs somewhere.
+	c := Collect(New(prof, pagetable.Size4K, 2000, 8), 0)
+	same := len(a) == len(c)
+	if same {
+		same = false
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSyntheticReset(t *testing.T) {
+	prof, _ := ProfileByName("gcc")
+	g := New(prof, pagetable.Size4K, 500, 3)
+	a := Collect(g, 0)
+	g.Reset()
+	b := Collect(g, 0)
+	if len(a) != len(b) {
+		t.Fatalf("reset stream length %d != %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs after Reset", i)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("generator produced ops past the end")
+	}
+}
+
+func TestSyntheticAccessesStayInFootprint(t *testing.T) {
+	for _, prof := range Profiles {
+		g := New(prof, pagetable.Size4K, 3000, 11)
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			if op.Kind != OpAccess {
+				continue
+			}
+			base := uint64(op.PID+1) << 41
+			inMain := op.VA >= base && op.VA < base+prof.FootprintBytes
+			inChurn := op.VA >= base+(1<<40) && op.VA < base+(1<<41)
+			inCow := op.VA >= base+(1<<41) && op.VA < base+(1<<41)+prof.CowRegionBytes+prof.FootprintBytes
+			if !inMain && !inChurn && !inCow {
+				t.Fatalf("%s: access %#x (pid %d) outside any expected range", prof.Name, op.VA, op.PID)
+			}
+		}
+	}
+}
+
+func TestSyntheticChurnLifecycle(t *testing.T) {
+	prof := Profile{
+		Name: "churny", FootprintBytes: 1 << 20, Pattern: PatternUniform,
+		MmapChurnEvery: 100, ChurnRegionBytes: 16 << 10, ChurnRegions: 2,
+	}
+	g := New(prof, pagetable.Size4K, 1000, 5)
+	mapped := map[uint64]bool{}
+	var churnMmaps, churnMunmaps int
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case OpMmap:
+			if mapped[op.VA] {
+				t.Fatalf("double mmap at %#x", op.VA)
+			}
+			mapped[op.VA] = true
+			if op.VA >= (1<<41)+(1<<40) {
+				churnMmaps++
+			}
+		case OpMunmap:
+			if !mapped[op.VA] {
+				t.Fatalf("munmap of unmapped %#x", op.VA)
+			}
+			delete(mapped, op.VA)
+			churnMunmaps++
+		}
+	}
+	if churnMmaps != 10 {
+		t.Errorf("churn mmaps = %d, want 10", churnMmaps)
+	}
+	// Ring of 2: first two mmaps have no munmap.
+	if churnMunmaps != churnMmaps-2 {
+		t.Errorf("churn munmaps = %d, want %d", churnMunmaps, churnMmaps-2)
+	}
+}
+
+func TestSyntheticCowEventsWriteThrough(t *testing.T) {
+	prof := Profile{
+		Name: "cowy", FootprintBytes: 1 << 20, Pattern: PatternUniform,
+		CowEvery: 200, CowRegionBytes: 32 << 10,
+	}
+	g := New(prof, pagetable.Size4K, 1000, 5)
+	cowMarks := 0
+	writesAfterMark := 0
+	expectWrites := 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Kind == OpMarkCOW {
+			cowMarks++
+			expectWrites = 8 // 32K / 4K pages
+			continue
+		}
+		if expectWrites > 0 && op.Kind == OpAccess {
+			if !op.Write {
+				t.Fatal("post-COW access is not a write")
+			}
+			writesAfterMark++
+			expectWrites--
+		}
+	}
+	if cowMarks != 5 {
+		t.Errorf("COW marks = %d, want 5", cowMarks)
+	}
+	if writesAfterMark != 5*8 {
+		t.Errorf("COW write-throughs = %d, want 40", writesAfterMark)
+	}
+}
+
+func TestMultiProcessCtxSwitches(t *testing.T) {
+	prof := Profile{
+		Name: "multi", FootprintBytes: 1 << 20, Pattern: PatternUniform,
+		Processes: 3, CtxSwitchEvery: 100,
+	}
+	g := New(prof, pagetable.Size4K, 1000, 5)
+	creates := 0
+	switches := 0
+	lastPID := -1
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case OpCreateProcess:
+			creates++
+		case OpCtxSwitch:
+			switches++
+			lastPID = op.PID
+		case OpAccess:
+			if op.PID != lastPID {
+				t.Fatalf("access pid %d but current is %d", op.PID, lastPID)
+			}
+		}
+	}
+	if creates != 3 {
+		t.Errorf("creates = %d", creates)
+	}
+	if switches < 9 { // initial + 9 rotations
+		t.Errorf("switches = %d", switches)
+	}
+}
+
+func TestPatternsCoverAndRepeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []PatternKind{PatternUniform, PatternZipf, PatternChase, PatternStream} {
+		p := newPattern(kind, 64, 1.2, rng)
+		seen := map[uint64]bool{}
+		for i := 0; i < 4096; i++ {
+			v := p.next()
+			if v >= 64 {
+				t.Fatalf("%v: index %d out of range", kind, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) < 16 {
+			t.Errorf("%v: only %d distinct pages in 4096 draws", kind, len(seen))
+		}
+		if kind.String() == "unknown" {
+			t.Errorf("missing String for %d", int(kind))
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := newPattern(PatternZipf, 1024, 1.2, rng)
+	counts := map[uint64]int{}
+	for i := 0; i < 100_000; i++ {
+		counts[p.next()]++
+	}
+	// The most popular page must dominate a uniform share by a wide margin.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100_000/1024*20 {
+		t.Errorf("zipf max count %d not skewed", max)
+	}
+}
+
+func TestProfilesRegistry(t *testing.T) {
+	if len(Profiles) != 8 {
+		t.Fatalf("got %d profiles, want the paper's 8", len(Profiles))
+	}
+	names := Names()
+	for _, want := range []string{"memcached", "canneal", "astar", "gcc", "graph500", "mcf", "tigr", "dedup"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing profile %s", want)
+		}
+		if _, ok := ProfileByName(want); !ok {
+			t.Errorf("ProfileByName(%s) failed", want)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile found")
+	}
+}
+
+func TestFromOps(t *testing.T) {
+	ops := []Op{{Kind: OpCreateProcess}, {Kind: OpAccess, VA: 4096}}
+	g := NewFromOps("fixed", ops)
+	if g.Name() != "fixed" {
+		t.Error("name")
+	}
+	got := Collect(g, 0)
+	if len(got) != 2 || got[1].VA != 4096 {
+		t.Fatalf("got %+v", got)
+	}
+	g.Reset()
+	if got := Collect(g, 1); len(got) != 1 {
+		t.Fatal("reset/limit")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k := OpCreateProcess; k <= OpReclaim; k++ {
+		if s := k.String(); s == "" || s[0] == 'O' {
+			t.Errorf("OpKind(%d).String() = %q", int(k), s)
+		}
+	}
+}
+
+func TestThreadsSpreadAccessesAcrossCores(t *testing.T) {
+	prof := Profile{
+		Name: "mt", FootprintBytes: 1 << 20, Pattern: PatternUniform,
+		Threads: 4, PrePopulate: true,
+	}
+	g := New(prof, pagetable.Size4K, 400, 9)
+	coreSeen := map[int]int{}
+	switches := map[int]bool{}
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case OpCtxSwitch:
+			switches[op.Core] = true
+		case OpAccess:
+			if op.PID != 0 {
+				t.Fatalf("thread access with pid %d", op.PID)
+			}
+			coreSeen[op.Core]++
+		}
+	}
+	for c := 0; c < 4; c++ {
+		if !switches[c] {
+			t.Errorf("no context install on core %d", c)
+		}
+		if coreSeen[c] < 50 {
+			t.Errorf("core %d saw only %d accesses", c, coreSeen[c])
+		}
+	}
+	// Single-threaded profiles keep everything on core 0.
+	g2 := New(Profile{Name: "st", FootprintBytes: 1 << 20, Pattern: PatternUniform}, pagetable.Size4K, 100, 9)
+	for {
+		op, ok := g2.Next()
+		if !ok {
+			break
+		}
+		if op.Core != 0 {
+			t.Fatalf("single-threaded op on core %d", op.Core)
+		}
+	}
+}
