@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-parallel clean
+
+all: check
+
+# check runs everything CI runs.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the concurrency-sensitive packages under the race
+# detector: the sweep runner itself, the refactored experiment drivers,
+# and the simulator core they drive.
+race:
+	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/cpu
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-parallel compares the serial and parallel Figure 5 sweeps; on a
+# multi-core machine the parallel run should be >= 2x faster.
+bench-parallel:
+	$(GO) test -bench 'BenchmarkFigure5(Serial|Parallel)$$' -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

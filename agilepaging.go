@@ -23,12 +23,15 @@
 package agilepaging
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"agilepaging/internal/core"
 	"agilepaging/internal/experiments"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
 )
@@ -141,12 +144,23 @@ type Config struct {
 	Technique Technique
 	PageSize  PageSize
 
-	// Accesses is the number of measured steady-phase memory accesses
-	// (0 = 120000). Warmup overrides the pre-measurement warmup length
-	// (0 = half of Accesses; negative = none).
+	// Accesses is the number of measured steady-phase memory accesses.
+	//
+	// Zero-value semantics: 0 selects the default of 120000 — there is no
+	// way to request a zero-access run. Negative values are invalid;
+	// RunAll rejects them up front and Run fails inside the simulator.
 	Accesses int
-	Warmup   int
-	// Seed makes the run reproducible (0 = 42).
+	// Warmup overrides the pre-measurement warmup length. It is
+	// sign-encoded: 0 selects the default of Accesses/2, a positive value
+	// is used as given, and a NEGATIVE value (any) disables warmup
+	// entirely — there is no way to request a literal zero-length warmup
+	// except by passing a negative number.
+	Warmup int
+	// Seed makes the run reproducible.
+	//
+	// Zero-value semantics: Seed 0 silently becomes the default seed 42 —
+	// a literal zero seed cannot be requested. Pass any other value for a
+	// distinct deterministic run.
 	Seed int64
 
 	// DisableMMUCaches removes the page walk caches and nested TLB,
@@ -248,19 +262,71 @@ func Run(cfg Config) (Result, error) {
 	}, nil
 }
 
+// validateConfigs rejects obviously bad specs before any simulation starts,
+// reporting every offending job index in a single error.
+func validateConfigs(cfgs []Config) error {
+	var bad []string
+	for i, cfg := range cfgs {
+		switch {
+		case cfg.Workload == "":
+			bad = append(bad, fmt.Sprintf("job %d: empty workload (pick one of %v)", i, Workloads()))
+		case cfg.Accesses < 0:
+			bad = append(bad, fmt.Sprintf("job %d (%s): negative accesses %d", i, cfg.Workload, cfg.Accesses))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("agilepaging: invalid configs: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// RunAll simulates every config concurrently (one worker per CPU) and
+// returns the results in the order the configs were given — identical to
+// running each through Run serially. Invalid specs (empty Workload,
+// negative Accesses) are rejected up front, before any simulation runs,
+// with one error naming every bad job index.
+func RunAll(cfgs []Config) ([]Result, error) {
+	return RunAllContext(context.Background(), 0, cfgs)
+}
+
+// RunAllContext is RunAll with explicit cancellation and worker-count
+// control. workers <= 0 selects one worker per CPU. On failure the first
+// error in declaration order is returned regardless of scheduling, so
+// parallel and serial runs report the same failure.
+func RunAllContext(ctx context.Context, workers int, cfgs []Config) ([]Result, error) {
+	if err := validateConfigs(cfgs); err != nil {
+		return nil, err
+	}
+	jobs := make([]sweep.Job[Config], len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = sweep.Job[Config]{
+			Key:      fmt.Sprintf("%s/%s/%s", cfg.Workload, cfg.PageSize, cfg.Technique),
+			Workload: cfg.Workload,
+			Options:  cfg,
+		}
+	}
+	return sweep.Run(ctx, sweep.Config{Workers: workers}, jobs,
+		func(_ context.Context, j sweep.Job[Config]) (Result, error) {
+			return Run(j.Options)
+		})
+}
+
 // Compare runs one workload under every technique at the given page size
-// and returns the results in Techniques() order.
+// (concurrently, one worker per CPU) and returns the results in
+// Techniques() order.
 func Compare(workloadName string, ps PageSize, accesses int, seed int64) ([]Result, error) {
-	out := make([]Result, 0, 4)
+	return CompareContext(context.Background(), 0, workloadName, ps, accesses, seed)
+}
+
+// CompareContext is Compare with explicit cancellation and worker-count
+// control (workers <= 0 selects one worker per CPU).
+func CompareContext(ctx context.Context, workers int, workloadName string, ps PageSize, accesses int, seed int64) ([]Result, error) {
+	cfgs := make([]Config, 0, 4)
 	for _, tech := range Techniques() {
-		r, err := Run(Config{
+		cfgs = append(cfgs, Config{
 			Workload: workloadName, Technique: tech, PageSize: ps,
 			Accesses: accesses, Seed: seed,
 		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
 	}
-	return out, nil
+	return RunAllContext(ctx, workers, cfgs)
 }

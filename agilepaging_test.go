@@ -76,6 +76,66 @@ func TestCompareOrderingAndShape(t *testing.T) {
 	}
 }
 
+func TestRunAllMatchesSerialRuns(t *testing.T) {
+	cfgs := []Config{
+		{Workload: "dedup", Technique: Shadow, PageSize: Page4K, Accesses: testAccesses, Seed: 5},
+		{Workload: "mcf", Technique: Agile, PageSize: Page2M, Accesses: testAccesses, Seed: 5},
+		{Workload: "astar", Technique: Nested, PageSize: Page4K, Accesses: testAccesses, Seed: 5},
+	}
+	got, err := RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfgs) {
+		t.Fatalf("results = %d, want %d", len(got), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("RunAll[%d] differs from serial Run:\n%+v\n%+v", i, got[i], want)
+		}
+	}
+}
+
+func TestRunAllValidation(t *testing.T) {
+	_, err := RunAll([]Config{
+		{Workload: "dedup", Technique: Shadow},
+		{Workload: ""},
+		{Workload: "mcf", Accesses: -5},
+	})
+	if err == nil {
+		t.Fatal("invalid configs accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"job 1", "empty workload", "job 2", "negative accesses"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	// Valid empty list is a no-op, not an error.
+	if rs, err := RunAll(nil); err != nil || len(rs) != 0 {
+		t.Errorf("RunAll(nil) = %v, %v", rs, err)
+	}
+}
+
+func TestRunAllUnknownWorkloadNamesJob(t *testing.T) {
+	// Unknown workloads pass validation (the registry owns that check) but
+	// must fail with the job key attached for attribution.
+	_, err := RunAll([]Config{
+		{Workload: "dedup", Technique: Native, Accesses: 2000},
+		{Workload: "nope", Technique: Native, Accesses: 2000},
+	})
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "job 1") || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error %q does not attribute the failing job", err)
+	}
+}
+
 func TestTechniqueAndPageSizeStrings(t *testing.T) {
 	names := map[Technique]string{Native: "native", Nested: "nested", Shadow: "shadow", Agile: "agile"}
 	for tech, want := range names {

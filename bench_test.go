@@ -16,6 +16,7 @@ package agilepaging
 // prints the same data as formatted tables.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"agilepaging/internal/experiments"
 	"agilepaging/internal/memsim"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/vmm"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
@@ -91,8 +93,8 @@ func figure5(b *testing.B) *experiments.Figure5Result {
 func BenchmarkFigure5(b *testing.B) {
 	res := figure5(b)
 	for _, name := range workload.Names() {
-		for _, ps := range experiments.PageSizes {
-			for _, tech := range experiments.Techniques {
+		for _, ps := range experiments.PageSizes() {
+			for _, tech := range experiments.Techniques() {
 				row, ok := res.Get(name, ps, tech)
 				if !ok {
 					b.Fatalf("missing row %s/%v/%v", name, ps, tech)
@@ -105,6 +107,25 @@ func BenchmarkFigure5(b *testing.B) {
 					b.ReportMetric(100*row.VMMOv, "vmm_ov_%")
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkFigure5Serial and BenchmarkFigure5Parallel time the full
+// 64-simulation Figure 5 sweep end to end with one worker versus one worker
+// per CPU. Identical parameters, so the ratio is the sweep speedup (compare
+// with `go test -bench 'BenchmarkFigure5(Serial|Parallel)' -cpu N`).
+func BenchmarkFigure5Serial(b *testing.B)   { benchFigure5Sweep(b, 1) }
+func BenchmarkFigure5Parallel(b *testing.B) { benchFigure5Sweep(b, 0) }
+
+func benchFigure5Sweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5Sweep(context.Background(), sweep.Config{Workers: workers}, nil, benchAccesses, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty sweep")
 		}
 	}
 }

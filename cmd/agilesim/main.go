@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ func main() {
 		warmup       = flag.Int("warmup", 0, "warmup accesses (0 = accesses/2, -1 = none)")
 		seed         = flag.Int64("seed", 42, "random seed")
 		compare      = flag.Bool("compare", false, "run all four techniques and compare")
+		parallel     = flag.Int("parallel", 0, "simulations to run concurrently in -compare (0 = one per CPU, 1 = serial)")
 		list         = flag.Bool("list", false, "list available workloads")
 		noCaches     = flag.Bool("no-mmu-caches", false, "disable page walk caches and nested TLB")
 		hwAD         = flag.Bool("hw-ad", false, "enable the §IV hardware A/D optimization")
@@ -52,7 +54,7 @@ func main() {
 	}
 
 	if *compare {
-		results, err := agilepaging.Compare(*workloadName, ps, *accesses, *seed)
+		results, err := agilepaging.CompareContext(context.Background(), *parallel, *workloadName, ps, *accesses, *seed)
 		if err != nil {
 			fatal(err)
 		}

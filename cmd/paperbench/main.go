@@ -12,38 +12,99 @@
 //	paperbench -figure 5             # Figure 5 sweep + §VII.A headline
 //	paperbench -ablations            # §III-C / §IV design-choice ablations
 //	paperbench -validate canneal     # Table IV model vs direct simulation
+//	paperbench -all -parallel 8      # same results, 8 simulations at a time
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"agilepaging/internal/experiments"
+	"agilepaging/internal/sweep"
 )
 
-func main() {
-	var (
-		table     = flag.Int("table", 0, "regenerate table 1, 2, 3, 5, or 6")
-		figure    = flag.Int("figure", 0, "regenerate figure 1 or 5")
-		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
-		shsp      = flag.Bool("shsp", false, "compare against the SHSP prior-work baseline (§VII.C)")
-		sens      = flag.Bool("sensitivity", false, "sweep the cost-model calibration and check robustness")
-		validate  = flag.String("validate", "", "validate the Table IV model on a workload")
-		all       = flag.Bool("all", false, "regenerate everything")
-		accesses  = flag.Int("accesses", 120_000, "measured accesses per run")
-		seed      = flag.Int64("seed", 42, "random seed")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
-		csvDir    = flag.String("csv", "", "also write figure5.csv / table6.csv into this directory")
-	)
-	flag.Parse()
+// options holds the parsed command line. Parsing is separated from main so
+// it can be tested without executing simulations.
+type options struct {
+	table     int
+	figure    int
+	ablations bool
+	shsp      bool
+	sens      bool
+	validate  string
+	all       bool
+	accesses  int
+	seed      int64
+	workloads []string
+	csvDir    string
+	parallel  int
+	progress  bool
+}
 
-	var names []string
-	if *workloads != "" {
-		names = strings.Split(*workloads, ",")
+// parseArgs parses the paperbench command line (without the program name).
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		o         options
+		workloads string
+	)
+	fs.IntVar(&o.table, "table", 0, "regenerate table 1, 2, 3, 5, or 6")
+	fs.IntVar(&o.figure, "figure", 0, "regenerate figure 1 or 5")
+	fs.BoolVar(&o.ablations, "ablations", false, "run the design-choice ablations")
+	fs.BoolVar(&o.shsp, "shsp", false, "compare against the SHSP prior-work baseline (§VII.C)")
+	fs.BoolVar(&o.sens, "sensitivity", false, "sweep the cost-model calibration and check robustness")
+	fs.StringVar(&o.validate, "validate", "", "validate the Table IV model on a workload")
+	fs.BoolVar(&o.all, "all", false, "regenerate everything")
+	fs.IntVar(&o.accesses, "accesses", 120_000, "measured accesses per run")
+	fs.Int64Var(&o.seed, "seed", 42, "random seed")
+	fs.StringVar(&workloads, "workloads", "", "comma-separated workload subset (default: all)")
+	fs.StringVar(&o.csvDir, "csv", "", "also write figure5.csv / table6.csv into this directory")
+	fs.IntVar(&o.parallel, "parallel", 0, "simulations to run concurrently (0 = one per CPU, 1 = serial)")
+	fs.BoolVar(&o.progress, "progress", false, "print per-simulation progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
 	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if workloads != "" {
+		o.workloads = strings.Split(workloads, ",")
+	}
+	return o, nil
+}
+
+// sweepConfig builds the shared sweep configuration: the requested worker
+// count plus, when -progress is set, a stderr progress line per finished
+// simulation.
+func (o options) sweepConfig(stderr io.Writer) sweep.Config {
+	cfg := sweep.Config{Workers: o.parallel}
+	if o.progress {
+		cfg.OnProgress = func(p sweep.Progress) {
+			fmt.Fprintf(stderr, "  [%d/%d] %s (%.2fs)\n", p.Done, p.Total, p.Key, p.Elapsed.Seconds())
+		}
+	}
+	return cfg
+}
+
+func main() {
+	opts, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	scfg := opts.sweepConfig(os.Stderr)
+	names := opts.workloads
 
 	ran := false
 	run := func(name string, fn func() error) {
@@ -56,9 +117,9 @@ func main() {
 		fmt.Println()
 	}
 
-	if *all || *table == 1 {
+	if opts.all || opts.table == 1 {
 		run("Table I", func() error {
-			rows, err := experiments.TableI()
+			rows, err := experiments.TableISweep(ctx, scfg)
 			if err != nil {
 				return err
 			}
@@ -66,15 +127,15 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *table == 3 {
+	if opts.all || opts.table == 3 {
 		run("Table III (system configuration)", func() error {
 			fmt.Print(experiments.TableIII())
 			return nil
 		})
 	}
-	if *all || *table == 5 {
+	if opts.all || opts.table == 5 {
 		run("Table V (workload characteristics)", func() error {
-			rows, err := experiments.TableV(*accesses, *seed)
+			rows, err := experiments.TableVSweep(ctx, scfg, opts.accesses, opts.seed)
 			if err != nil {
 				return err
 			}
@@ -82,9 +143,9 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *table == 2 {
+	if opts.all || opts.table == 2 {
 		run("Table II / Figure 3", func() error {
-			rows, err := experiments.TableII()
+			rows, err := experiments.TableIISweep(ctx, scfg)
 			if err != nil {
 				return err
 			}
@@ -92,7 +153,7 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *figure == 1 {
+	if opts.all || opts.figure == 1 {
 		run("Figure 1 walk traces", func() error {
 			traces, err := experiments.WalkTraces()
 			if err != nil {
@@ -102,9 +163,9 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *figure == 5 {
+	if opts.all || opts.figure == 5 {
 		run("Figure 5 + headline", func() error {
-			res, err := experiments.Figure5(names, *accesses, *seed)
+			res, err := experiments.Figure5Sweep(ctx, scfg, names, opts.accesses, opts.seed)
 			if err != nil {
 				return err
 			}
@@ -113,8 +174,8 @@ func main() {
 			fmt.Print(experiments.FormatFigure5Chart(res))
 			fmt.Println()
 			fmt.Print(experiments.FormatHeadline(experiments.Headline(res)))
-			if *csvDir != "" {
-				f, err := os.Create(filepath.Join(*csvDir, "figure5.csv"))
+			if opts.csvDir != "" {
+				f, err := os.Create(filepath.Join(opts.csvDir, "figure5.csv"))
 				if err != nil {
 					return err
 				}
@@ -127,15 +188,15 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *table == 6 {
+	if opts.all || opts.table == 6 {
 		run("Table VI", func() error {
-			rows, err := experiments.TableVI(names, *accesses, *seed)
+			rows, err := experiments.TableVISweep(ctx, scfg, names, opts.accesses, opts.seed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(experiments.FormatTableVI(rows))
-			if *csvDir != "" {
-				f, err := os.Create(filepath.Join(*csvDir, "table6.csv"))
+			if opts.csvDir != "" {
+				f, err := os.Create(filepath.Join(opts.csvDir, "table6.csv"))
 				if err != nil {
 					return err
 				}
@@ -148,9 +209,9 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *shsp {
+	if opts.all || opts.shsp {
 		run("SHSP comparison", func() error {
-			rows, err := experiments.SHSPComparison(names, *accesses, *seed)
+			rows, err := experiments.SHSPComparisonSweep(ctx, scfg, names, opts.accesses, opts.seed)
 			if err != nil {
 				return err
 			}
@@ -158,9 +219,9 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *sens {
+	if opts.all || opts.sens {
 		run("Cost-model sensitivity", func() error {
-			rows, err := experiments.Sensitivity(*accesses, *seed)
+			rows, err := experiments.SensitivitySweep(ctx, scfg, opts.accesses, opts.seed)
 			if err != nil {
 				return err
 			}
@@ -168,9 +229,9 @@ func main() {
 			return nil
 		})
 	}
-	if *all || *ablations {
+	if opts.all || opts.ablations {
 		run("Ablations", func() error {
-			rows, err := experiments.Ablations(*accesses/2, *seed)
+			rows, err := experiments.AblationsSweep(ctx, scfg, opts.accesses/2, opts.seed)
 			if err != nil {
 				return err
 			}
@@ -180,13 +241,13 @@ func main() {
 			return nil
 		})
 	}
-	if *validate != "" || *all {
-		wl := *validate
+	if opts.validate != "" || opts.all {
+		wl := opts.validate
 		if wl == "" {
 			wl = "canneal"
 		}
 		run("Table IV model validation ("+wl+")", func() error {
-			v, err := experiments.ValidateModel(wl, *accesses, *seed)
+			v, err := experiments.ValidateModelSweep(ctx, scfg, wl, opts.accesses, opts.seed)
 			if err != nil {
 				return err
 			}
@@ -196,7 +257,7 @@ func main() {
 	}
 
 	if !ran {
-		flag.Usage()
+		fmt.Fprintln(os.Stderr, "paperbench: nothing selected; pass -all, -table N, -figure N, -ablations, -shsp, -sensitivity, or -validate W")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"agilepaging/internal/sweep"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	var errBuf bytes.Buffer
+	o, err := parseArgs(nil, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.parallel != 0 {
+		t.Errorf("default parallel = %d, want 0 (one worker per CPU)", o.parallel)
+	}
+	if o.progress {
+		t.Error("progress defaults to true")
+	}
+	if o.accesses != 120_000 || o.seed != 42 {
+		t.Errorf("defaults: accesses=%d seed=%d", o.accesses, o.seed)
+	}
+	if o.workloads != nil {
+		t.Errorf("default workloads = %v, want nil", o.workloads)
+	}
+}
+
+func TestParseArgsParallelAndProgress(t *testing.T) {
+	var errBuf bytes.Buffer
+	o, err := parseArgs([]string{"-figure", "5", "-parallel", "8", "-progress",
+		"-workloads", "dedup,mcf", "-accesses", "5000", "-seed", "7"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.parallel != 8 {
+		t.Errorf("parallel = %d, want 8", o.parallel)
+	}
+	if !o.progress {
+		t.Error("progress not set")
+	}
+	if o.figure != 5 || o.accesses != 5000 || o.seed != 7 {
+		t.Errorf("parsed %+v", o)
+	}
+	if want := []string{"dedup", "mcf"}; !reflect.DeepEqual(o.workloads, want) {
+		t.Errorf("workloads = %v, want %v", o.workloads, want)
+	}
+}
+
+func TestParseArgsRejectsPositionalArgs(t *testing.T) {
+	var errBuf bytes.Buffer
+	if _, err := parseArgs([]string{"-all", "stray"}, &errBuf); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}
+
+func TestParseArgsRejectsUnknownFlag(t *testing.T) {
+	var errBuf bytes.Buffer
+	if _, err := parseArgs([]string{"-bogus"}, &errBuf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestSweepConfigProgressWiring(t *testing.T) {
+	var errBuf bytes.Buffer
+	o, err := parseArgs([]string{"-all", "-parallel", "3"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.sweepConfig(&errBuf)
+	if cfg.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", cfg.Workers)
+	}
+	if cfg.OnProgress != nil {
+		t.Error("OnProgress set without -progress")
+	}
+
+	o2, err := parseArgs([]string{"-all", "-progress"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	cfg2 := o2.sweepConfig(&out)
+	if cfg2.OnProgress == nil {
+		t.Fatal("OnProgress nil with -progress")
+	}
+	cfg2.OnProgress(sweep.Progress{Done: 3, Total: 64, Key: "dedup/4K/agile", Elapsed: 1500 * time.Millisecond})
+	if got := out.String(); !strings.Contains(got, "[3/64]") || !strings.Contains(got, "dedup/4K/agile") {
+		t.Errorf("progress line = %q", got)
+	}
+}

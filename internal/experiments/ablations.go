@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"context"
+
 	"agilepaging/internal/core"
+	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/vmm"
 	"agilepaging/internal/walker"
 )
@@ -17,6 +21,25 @@ type AblationRow struct {
 	Notes    string
 }
 
+// ablationKind selects how an ablation job is executed.
+type ablationKind int
+
+const (
+	// ablationProfile runs a named synthetic workload profile.
+	ablationProfile ablationKind = iota
+	// ablationReadThenWrite runs the A/D-trap microbenchmark op stream.
+	ablationReadThenWrite
+	// ablationCtxSwitch runs the context-switch microbenchmark op stream.
+	ablationCtxSwitch
+)
+
+// ablationSpec is the options payload of one ablation job.
+type ablationSpec struct {
+	kind  ablationKind
+	opts  Options
+	notes string
+}
+
 // Ablations quantifies the paper's individual design choices:
 //
 //   - the §IV hardware A/D optimization (trap-free dirty tracking)
@@ -24,106 +47,89 @@ type AblationRow struct {
 //   - the two nested⇒shadow revert policies of §III-C against no revert
 //   - the MMU caches (PWC + nested TLB) the walk costs assume
 func Ablations(accesses int, seed int64) ([]AblationRow, error) {
-	var rows []AblationRow
-	add := func(name, wl string, o Options, notes string) error {
+	return AblationsSweep(context.Background(), sweep.Config{}, accesses, seed)
+}
+
+// AblationsSweep is Ablations on an explicit sweep configuration. Rows come
+// back in declaration order regardless of worker count.
+func AblationsSweep(ctx context.Context, cfg sweep.Config, accesses int, seed int64) ([]AblationRow, error) {
+	var jobs []sweep.Job[ablationSpec]
+	add := func(name, wl string, kind ablationKind, o Options, notes string) {
 		o.Accesses = accesses
 		o.Seed = seed
-		rep, err := RunProfile(wl, o)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, AblationRow{
-			Name: name, Workload: wl,
-			WalkOv: rep.WalkOverhead(), VMMOv: rep.VMMOverhead(),
-			Traps: rep.VMM.TotalTraps(), Notes: notes,
+		jobs = append(jobs, sweep.Job[ablationSpec]{
+			Key:      name,
+			Workload: wl,
+			Options:  ablationSpec{kind: kind, opts: o, notes: notes},
 		})
-		return nil
 	}
 
 	// The §IV hardware A/D optimization: a read-then-write microbenchmark
 	// maximizes dirty-tracking traps (every page is first shadowed clean,
 	// then written).
-	addAD := func(name string, o Options, notes string) error {
-		o.Accesses = accesses
-		o.Seed = seed
-		rep, _, err := RunOps(name, readThenWriteOps(512), o)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, AblationRow{
-			Name: name, Workload: "read-then-write µbench",
-			WalkOv: rep.WalkOverhead(), VMMOv: rep.VMMOverhead(),
-			Traps: rep.VMM.TotalTraps(), Notes: notes,
-		})
-		return nil
-	}
 	base := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
 	base.AgileStartNested = false
-	if err := addAD("agile baseline", base, "dirty tracking via VM exits"); err != nil {
-		return nil, err
-	}
+	add("agile baseline", "read-then-write µbench", ablationReadThenWrite, base, "dirty tracking via VM exits")
 	hwad := base
 	hwad.HardwareAD = true
-	if err := addAD("agile + hw A/D", hwad, "§IV: A/D via extra walk, no trap"); err != nil {
-		return nil, err
-	}
+	add("agile + hw A/D", "read-then-write µbench", ablationReadThenWrite, hwad, "§IV: A/D via extra walk, no trap")
 	shadowBase := DefaultOptions(walker.ModeShadow, pagetable.Size4K)
-	if err := addAD("shadow baseline", shadowBase, "for reference"); err != nil {
-		return nil, err
-	}
+	add("shadow baseline", "read-then-write µbench", ablationReadThenWrite, shadowBase, "for reference")
 	shadowHW := shadowBase
 	shadowHW.HardwareAD = true
-	if err := addAD("shadow + hw A/D", shadowHW, "§IV opt applied to pure shadow"); err != nil {
-		return nil, err
-	}
+	add("shadow + hw A/D", "read-then-write µbench", ablationReadThenWrite, shadowHW, "§IV opt applied to pure shadow")
 
 	// Context-switch cache: a switch-heavy microbenchmark (the §IV target).
-	addOps := func(name string, o Options, notes string) error {
-		o.Accesses = accesses
-		o.Seed = seed
-		rep, _, err := RunOps(name, ctxSwitchOps(2000), o)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, AblationRow{
-			Name: name, Workload: "ctx-switch µbench",
-			WalkOv: rep.WalkOverhead(), VMMOv: rep.VMMOverhead(),
-			Traps: rep.VMM.Traps[vmm.TrapContextSwitch], Notes: notes,
-		})
-		return nil
-	}
 	ctxBase := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
 	ctxBase.AgileStartNested = false
-	if err := addOps("agile, no ctx cache", ctxBase, "every CR3 write exits"); err != nil {
-		return nil, err
-	}
+	add("agile, no ctx cache", "ctx-switch µbench", ablationCtxSwitch, ctxBase, "every CR3 write exits")
 	ctxCache := ctxBase
 	ctxCache.CtxSwitchCache = 8
-	if err := addOps("agile + ctx cache(8)", ctxCache, "§IV: gptr=>sptr hardware cache"); err != nil {
-		return nil, err
-	}
+	add("agile + ctx cache(8)", "ctx-switch µbench", ablationCtxSwitch, ctxCache, "§IV: gptr=>sptr hardware cache")
 
 	// Revert policies.
 	for _, p := range []core.RevertPolicy{core.RevertNone, core.RevertReset, core.RevertDirtyScan} {
 		o := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
 		o.RevertPolicy = p
-		if err := add("agile revert="+p.String(), "memcached", o, "§III-C nested=>shadow policy"); err != nil {
-			return nil, err
-		}
+		add("agile revert="+p.String(), "memcached", ablationProfile, o, "§III-C nested=>shadow policy")
 	}
 
 	// MMU caches.
 	noPWC := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
 	noPWC.DisablePWC = true
 	noPWC.DisableNTLB = true
-	if err := add("agile, no PWC/NTLB", "graph500", noPWC, "architectural walk costs"); err != nil {
-		return nil, err
-	}
+	add("agile, no PWC/NTLB", "graph500", ablationProfile, noPWC, "architectural walk costs")
 	withPWC := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
-	if err := add("agile, PWC+NTLB", "graph500", withPWC, ""); err != nil {
-		return nil, err
+	add("agile, PWC+NTLB", "graph500", ablationProfile, withPWC, "")
+
+	return sweep.Run(ctx, cfg, jobs, runAblation)
+}
+
+// runAblation executes one ablation job.
+func runAblation(_ context.Context, j sweep.Job[ablationSpec]) (AblationRow, error) {
+	s := j.Options
+	var rep cpu.Report
+	var err error
+	switch s.kind {
+	case ablationProfile:
+		rep, err = RunProfile(j.Workload, s.opts)
+	case ablationReadThenWrite:
+		rep, _, err = RunOps(j.Key, readThenWriteOps(512), s.opts)
+	case ablationCtxSwitch:
+		rep, _, err = RunOps(j.Key, ctxSwitchOps(2000), s.opts)
 	}
-	return rows, nil
+	if err != nil {
+		return AblationRow{}, err
+	}
+	traps := rep.VMM.TotalTraps()
+	if s.kind == ablationCtxSwitch {
+		traps = rep.VMM.Traps[vmm.TrapContextSwitch]
+	}
+	return AblationRow{
+		Name: j.Key, Workload: j.Workload,
+		WalkOv: rep.WalkOverhead(), VMMOv: rep.VMMOverhead(),
+		Traps: traps, Notes: s.notes,
+	}, nil
 }
 
 // trapCostReference exposes the cost model used by the ablations (for

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
 	"agilepaging/internal/perfmodel"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/trace"
 	"agilepaging/internal/vmm"
 	"agilepaging/internal/walker"
@@ -45,34 +48,53 @@ func (f *Figure5Result) Get(w string, ps pagetable.Size, tech walker.Mode) (Figu
 
 // Figure5 runs the full evaluation sweep of paper Figure 5: every workload
 // of Table V under the eight configurations {4K,2M} × {base native, nested,
-// shadow, agile}. workloads == nil runs all eight.
+// shadow, agile}. workloads == nil runs all eight. The sweep runs on the
+// default worker pool; use Figure5Sweep for cancellation, a worker bound,
+// or progress reporting.
 func Figure5(workloads []string, accesses int, seed int64) (*Figure5Result, error) {
+	return Figure5Sweep(context.Background(), sweep.Config{}, workloads, accesses, seed)
+}
+
+// Figure5Sweep is Figure5 on an explicit sweep configuration. Results are
+// in declaration order (workload-major, then page size, then technique),
+// identical to a serial run for any worker count.
+func Figure5Sweep(ctx context.Context, cfg sweep.Config, workloads []string, accesses int, seed int64) (*Figure5Result, error) {
 	if workloads == nil {
 		workloads = workload.Names()
 	}
-	res := &Figure5Result{Accesses: accesses, Seed: seed}
+	var jobs []sweep.Job[Options]
 	for _, name := range workloads {
-		for _, ps := range PageSizes {
-			for _, tech := range Techniques {
+		for _, ps := range PageSizes() {
+			for _, tech := range Techniques() {
 				o := DefaultOptions(tech, ps)
 				o.Accesses = accesses
 				o.Seed = seed
-				rep, err := RunProfile(name, o)
-				if err != nil {
-					return nil, err
-				}
-				res.Rows = append(res.Rows, Figure5Row{
-					Workload:  name,
-					PageSize:  ps,
-					Technique: tech,
-					WalkOv:    rep.WalkOverhead(),
-					VMMOv:     rep.VMMOverhead(),
-					Report:    rep,
+				jobs = append(jobs, sweep.Job[Options]{
+					Key:      fmt.Sprintf("%s/%s/%s", name, ps, tech),
+					Workload: name,
+					Options:  o,
 				})
 			}
 		}
 	}
-	return res, nil
+	rows, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (Figure5Row, error) {
+		rep, err := RunProfile(j.Workload, j.Options)
+		if err != nil {
+			return Figure5Row{}, err
+		}
+		return Figure5Row{
+			Workload:  j.Workload,
+			PageSize:  j.Options.PageSize,
+			Technique: j.Options.Technique,
+			WalkOv:    rep.WalkOverhead(),
+			VMMOv:     rep.VMMOverhead(),
+			Report:    rep,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure5Result{Rows: rows, Accesses: accesses, Seed: seed}, nil
 }
 
 // HeadlineRow summarizes the paper's §VII.A claims for one workload and
@@ -167,35 +189,55 @@ type ModelValidation struct {
 // ValidateModel runs the paper's methodology end to end for one workload at
 // 4K: measure native/nested/shadow, collect the agile run's miss and trap
 // logs (the BadgerTrap and trace-cmd analogs), project agile performance
-// with the Table IV model, and report it against direct simulation.
+// with the Table IV model, and report it against direct simulation. The
+// four constituent measurements are independent and run as one sweep.
 func ValidateModel(name string, accesses int, seed int64) (ModelValidation, error) {
-	run := func(tech walker.Mode, miss *trace.MissLog, traps *trace.TrapLog) (cpu.Report, error) {
-		o := DefaultOptions(tech, pagetable.Size4K)
+	return ValidateModelSweep(context.Background(), sweep.Config{}, name, accesses, seed)
+}
+
+// validateRun is one ValidateModel measurement plus the logs it collected.
+type validateRun struct {
+	rep   cpu.Report
+	miss  trace.MissLog
+	traps trace.TrapLog
+}
+
+// ValidateModelSweep is ValidateModel on an explicit sweep configuration.
+func ValidateModelSweep(ctx context.Context, cfg sweep.Config, name string, accesses int, seed int64) (ModelValidation, error) {
+	type spec struct {
+		tech        walker.Mode
+		miss, traps bool
+	}
+	jobs := []sweep.Job[spec]{
+		{Key: name + "/native", Workload: name, Options: spec{tech: walker.ModeNative}},
+		{Key: name + "/nested", Workload: name, Options: spec{tech: walker.ModeNested}},
+		{Key: name + "/shadow", Workload: name, Options: spec{tech: walker.ModeShadow, traps: true}},
+		{Key: name + "/agile", Workload: name, Options: spec{tech: walker.ModeAgile, miss: true, traps: true}},
+	}
+	runs, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[spec]) (validateRun, error) {
+		var out validateRun
+		o := DefaultOptions(j.Options.tech, pagetable.Size4K)
 		o.Accesses = accesses
 		o.Seed = seed
-		o.MissLog = miss
-		o.TrapLog = traps
-		return RunProfile(name, o)
-	}
-	nativeRep, err := run(walker.ModeNative, nil, nil)
+		if j.Options.miss {
+			o.MissLog = &out.miss
+		}
+		if j.Options.traps {
+			o.TrapLog = &out.traps
+		}
+		rep, err := RunProfile(j.Workload, o)
+		if err != nil {
+			return validateRun{}, err
+		}
+		out.rep = rep
+		return out, nil
+	})
 	if err != nil {
 		return ModelValidation{}, err
 	}
-	nestedRep, err := run(walker.ModeNested, nil, nil)
-	if err != nil {
-		return ModelValidation{}, err
-	}
-	var shadowTraps trace.TrapLog
-	shadowRep, err := run(walker.ModeShadow, nil, &shadowTraps)
-	if err != nil {
-		return ModelValidation{}, err
-	}
-	var agileMiss trace.MissLog
-	var agileTraps trace.TrapLog
-	agileRep, err := run(walker.ModeAgile, &agileMiss, &agileTraps)
-	if err != nil {
-		return ModelValidation{}, err
-	}
+	nativeRep, nestedRep, shadowRep, agileRep := runs[0].rep, runs[1].rep, runs[2].rep, runs[3].rep
+	shadowTraps := runs[2].traps
+	agileMiss, agileTraps := runs[3].miss, runs[3].traps
 
 	ideal := nativeRep.IdealCycles
 	toMeasured := func(r cpu.Report) perfmodel.Measured {

@@ -6,6 +6,12 @@ import (
 )
 
 // Microbenchmark op streams used by Table I and the ablations.
+//
+// Every builder here is a pure function of its arguments: it allocates a
+// fresh []workload.Op per call and touches no shared state, so sweep jobs
+// may build identical streams concurrently. Keep it that way — memoizing
+// these would introduce sharing across parallel jobs for no measurable
+// saving (stream construction is ~0.1% of a simulation).
 
 // tlbThrashOps maps `pages` 4K pages and strides through them `iters`
 // times: with pages well beyond TLB reach every access misses, exposing the

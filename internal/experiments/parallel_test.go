@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"agilepaging/internal/sweep"
+)
+
+// The parallel sweeps must be bit-identical to serial execution: every
+// simulation owns all of its state, so worker count can only change wall
+// time, never results. These tests run a reduced sweep twice — Workers=1
+// (serial) and Workers=8 (heavily interleaved even on one P, since jobs
+// yield at channel/mutex boundaries) — and require deep equality plus
+// byte-identical formatted output.
+
+func TestFigure5SerialParallelEquivalence(t *testing.T) {
+	workloads := []string{"dedup", "mcf"}
+	const accesses, seed = 4000, 42
+
+	serial, err := Figure5Sweep(context.Background(), sweep.Config{Workers: 1}, workloads, accesses, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure5Sweep(context.Background(), sweep.Config{Workers: 8}, workloads, accesses, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Figure5 results differ between serial and parallel runs")
+	}
+	if a, b := FormatFigure5(serial), FormatFigure5(parallel); a != b {
+		t.Fatalf("formatted Figure 5 output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+func TestAblationsSerialParallelEquivalence(t *testing.T) {
+	const accesses, seed = 2000, 42
+
+	serial, err := AblationsSweep(context.Background(), sweep.Config{Workers: 1}, accesses, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := AblationsSweep(context.Background(), sweep.Config{Workers: 8}, accesses, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("ablation results differ between serial and parallel runs")
+	}
+	if a, b := FormatAblations(serial), FormatAblations(parallel); a != b {
+		t.Fatalf("formatted ablation output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+func TestSensitivitySerialParallelEquivalence(t *testing.T) {
+	serial, err := SensitivitySweep(context.Background(), sweep.Config{Workers: 1}, 1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SensitivitySweep(context.Background(), sweep.Config{Workers: 8}, 1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("sensitivity results differ between serial and parallel runs")
+	}
+}
+
+func TestTableISerialParallelEquivalence(t *testing.T) {
+	serial, err := TableISweep(context.Background(), sweep.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := TableISweep(context.Background(), sweep.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Table I rows differ between serial and parallel runs")
+	}
+}
+
+func TestSHSPSerialParallelEquivalence(t *testing.T) {
+	workloads := []string{"memcached"}
+	serial, err := SHSPComparisonSweep(context.Background(), sweep.Config{Workers: 1}, workloads, 3000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SHSPComparisonSweep(context.Background(), sweep.Config{Workers: 4}, workloads, 3000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("SHSP rows differ between serial and parallel runs")
+	}
+}

@@ -165,7 +165,14 @@ func attachLogs(m *cpu.Machine, o Options) {
 }
 
 // Techniques lists the four configurations of Figure 5 in paper order.
-var Techniques = []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile}
+// It returns a fresh slice each call so concurrent sweep jobs can never
+// observe a caller's mutation (the drivers run on the sweep worker pool).
+func Techniques() []walker.Mode {
+	return []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile}
+}
 
-// PageSizes lists the two page-size policies of Figure 5.
-var PageSizes = []pagetable.Size{pagetable.Size4K, pagetable.Size2M}
+// PageSizes lists the two page-size policies of Figure 5. Like Techniques
+// it returns a fresh slice per call.
+func PageSizes() []pagetable.Size {
+	return []pagetable.Size{pagetable.Size4K, pagetable.Size2M}
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
 
 	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/vmm"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
@@ -30,46 +32,75 @@ type SensitivityRow struct {
 // artifact of the calibration or robust to it. The probe workload is
 // dedup, where both constituents are expensive in different ways.
 func Sensitivity(accesses int, seed int64) ([]SensitivityRow, error) {
+	return SensitivitySweep(context.Background(), sweep.Config{}, accesses, seed)
+}
+
+// sensitivitySpec is one (cost scaling, technique) point of the sweep.
+type sensitivitySpec struct {
+	trapScale, refScale float64
+	tech                walker.Mode
+}
+
+// sensitivityTechs are the techniques each calibration cell measures.
+var sensitivityTechs = [...]walker.Mode{walker.ModeNested, walker.ModeShadow, walker.ModeAgile}
+
+// SensitivitySweep is Sensitivity on an explicit sweep configuration. All
+// 27 (trap scale × ref scale × technique) simulations run as one sweep and
+// are folded back into the 9 calibration rows in declaration order.
+func SensitivitySweep(ctx context.Context, cfg sweep.Config, accesses int, seed int64) ([]SensitivityRow, error) {
 	prof, _ := workload.ProfileByName("dedup")
-	var rows []SensitivityRow
+	var jobs []sweep.Job[sensitivitySpec]
 	for _, trapScale := range []float64{0.3, 1, 3} {
 		for _, refScale := range []float64{0.5, 1, 2} {
-			row := SensitivityRow{TrapScale: trapScale, RefScale: refScale}
-			for _, tech := range []walker.Mode{walker.ModeNested, walker.ModeShadow, walker.ModeAgile} {
-				o := DefaultOptions(tech, pagetable.Size4K)
-				o.Accesses = accesses
-				o.Seed = seed
-				cfg := machineConfig(o)
-				costs := vmm.DefaultCostModel()
-				for k := range costs.Cycles {
-					costs.Cycles[k] = uint64(float64(costs.Cycles[k]) * trapScale)
-				}
-				cfg.TrapCosts = costs
-				cfg.MemRefCycles = uint64(float64(cfg.MemRefCycles) * refScale)
-				cfg.HostRefCycles = uint64(float64(cfg.HostRefCycles) * refScale)
-				if cfg.HostRefCycles < 1 {
-					cfg.HostRefCycles = 1
-				}
-				rep, err := runScaled(prof, cfg, o)
-				if err != nil {
-					return nil, err
-				}
-				switch tech {
-				case walker.ModeNested:
-					row.Nested = rep.TotalOverhead()
-				case walker.ModeShadow:
-					row.Shadow = rep.TotalOverhead()
-				case walker.ModeAgile:
-					row.Agile = rep.TotalOverhead()
-				}
+			for _, tech := range sensitivityTechs {
+				jobs = append(jobs, sweep.Job[sensitivitySpec]{
+					Key:      fmt.Sprintf("dedup/trap×%.1f/ref×%.1f/%s", trapScale, refScale, tech),
+					Workload: prof.Name,
+					Options:  sensitivitySpec{trapScale: trapScale, refScale: refScale, tech: tech},
+				})
 			}
-			best := row.Nested
-			if row.Shadow < best {
-				best = row.Shadow
-			}
-			row.AgileWins = row.Agile <= best*1.02+0.005 // ties allowed
-			rows = append(rows, row)
 		}
+	}
+	overheads, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[sensitivitySpec]) (float64, error) {
+		s := j.Options
+		o := DefaultOptions(s.tech, pagetable.Size4K)
+		o.Accesses = accesses
+		o.Seed = seed
+		mcfg := machineConfig(o)
+		costs := vmm.DefaultCostModel()
+		for k := range costs.Cycles {
+			costs.Cycles[k] = uint64(float64(costs.Cycles[k]) * s.trapScale)
+		}
+		mcfg.TrapCosts = costs
+		mcfg.MemRefCycles = uint64(float64(mcfg.MemRefCycles) * s.refScale)
+		mcfg.HostRefCycles = uint64(float64(mcfg.HostRefCycles) * s.refScale)
+		if mcfg.HostRefCycles < 1 {
+			mcfg.HostRefCycles = 1
+		}
+		rep, err := runScaled(prof, mcfg, o)
+		if err != nil {
+			return 0, err
+		}
+		return rep.TotalOverhead(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SensitivityRow
+	for i := 0; i < len(jobs); i += len(sensitivityTechs) {
+		row := SensitivityRow{
+			TrapScale: jobs[i].Options.trapScale,
+			RefScale:  jobs[i].Options.refScale,
+			Nested:    overheads[i],
+			Shadow:    overheads[i+1],
+			Agile:     overheads[i+2],
+		}
+		best := row.Nested
+		if row.Shadow < best {
+			best = row.Shadow
+		}
+		row.AgileWins = row.Agile <= best*1.02+0.005 // ties allowed
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
 )
@@ -24,45 +28,87 @@ func (r SHSPRow) Best() float64 {
 	return r.Shadow
 }
 
+// shspSpec is one (workload, configuration) cell of the comparison.
+type shspSpec struct {
+	tech walker.Mode
+	shsp bool
+}
+
+// shspResult is one cell's measurement.
+type shspResult struct {
+	overhead float64
+	switches uint64
+}
+
+// shspConfigs are the four configurations measured per workload, in the
+// order the SHSPRow fields are filled: nested, shadow, SHSP, agile.
+var shspConfigs = [...]shspSpec{
+	{walker.ModeNested, false},
+	{walker.ModeShadow, false},
+	{walker.ModeAgile, true},
+	{walker.ModeAgile, false},
+}
+
 // SHSPComparison reproduces the paper's §VII.C discussion: SHSP, switching
 // an entire guest process temporally between the techniques, approaches the
 // best of the two, while agile paging — temporal *and* spatial — exceeds
 // it. Runs at 4K pages where the techniques differ most.
 func SHSPComparison(workloads []string, accesses int, seed int64) ([]SHSPRow, error) {
+	return SHSPComparisonSweep(context.Background(), sweep.Config{}, workloads, accesses, seed)
+}
+
+// SHSPComparisonSweep is SHSPComparison on an explicit sweep configuration:
+// every (workload, configuration) cell is an independent job.
+func SHSPComparisonSweep(ctx context.Context, cfg sweep.Config, workloads []string, accesses int, seed int64) ([]SHSPRow, error) {
 	if workloads == nil {
 		workloads = workload.Names()
 	}
-	rows := make([]SHSPRow, 0, len(workloads))
+	var jobs []sweep.Job[shspSpec]
 	for _, name := range workloads {
-		row := SHSPRow{Workload: name}
-		for _, cfg := range []struct {
-			tech walker.Mode
-			shsp bool
-			dst  *float64
-		}{
-			{walker.ModeNested, false, &row.Nested},
-			{walker.ModeShadow, false, &row.Shadow},
-			{walker.ModeAgile, true, &row.SHSP},
-			{walker.ModeAgile, false, &row.Agile},
-		} {
-			o := DefaultOptions(cfg.tech, pagetable.Size4K)
-			o.Accesses = accesses
-			o.Seed = seed
-			o.UseSHSP = cfg.shsp
-			// SHSP converges coarsely (whole-process sampling + rebuild);
-			// give every configuration a full-length warmup so the steady
-			// states are compared, as the paper's to-completion runs do.
-			o.Warmup = accesses
-			rep, err := RunProfile(name, o)
-			if err != nil {
-				return nil, err
+		for _, c := range shspConfigs {
+			label := c.tech.String()
+			if c.shsp {
+				label = "shsp"
 			}
-			*cfg.dst = rep.TotalOverhead()
-			if cfg.shsp {
-				row.SHSPSwitches = rep.SHSP.ToShadow + rep.SHSP.ToNested
-			}
+			jobs = append(jobs, sweep.Job[shspSpec]{
+				Key:      fmt.Sprintf("%s/%s", name, label),
+				Workload: name,
+				Options:  c,
+			})
 		}
-		rows = append(rows, row)
+	}
+	cells, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[shspSpec]) (shspResult, error) {
+		o := DefaultOptions(j.Options.tech, pagetable.Size4K)
+		o.Accesses = accesses
+		o.Seed = seed
+		o.UseSHSP = j.Options.shsp
+		// SHSP converges coarsely (whole-process sampling + rebuild);
+		// give every configuration a full-length warmup so the steady
+		// states are compared, as the paper's to-completion runs do.
+		o.Warmup = accesses
+		rep, err := RunProfile(j.Workload, o)
+		if err != nil {
+			return shspResult{}, err
+		}
+		return shspResult{
+			overhead: rep.TotalOverhead(),
+			switches: rep.SHSP.ToShadow + rep.SHSP.ToNested,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SHSPRow, 0, len(workloads))
+	for i, name := range workloads {
+		c := cells[i*len(shspConfigs):]
+		rows = append(rows, SHSPRow{
+			Workload:     name,
+			Nested:       c[0].overhead,
+			Shadow:       c[1].overhead,
+			SHSP:         c[2].overhead,
+			Agile:        c[3].overhead,
+			SHSPSwitches: c[2].switches,
+		})
 	}
 	return rows, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"agilepaging/internal/memsim"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/vmm"
 	"agilepaging/internal/walker"
 )
@@ -87,33 +89,46 @@ func degreeFixture(nestedLevels int, fullNested bool) (TableIIRow, error) {
 	}, nil
 }
 
+// degreeSpec selects one walk fixture of Table II.
+type degreeSpec struct {
+	nested     int
+	fullNested bool
+}
+
 // TableII reproduces paper Table II (and the access sequences of Figure 3):
 // the number of memory references with each degree of nesting, from full
 // shadow (4) through the four switch levels (8, 12, 16, 20) to full nested
 // (24).
 func TableII() ([]TableIIRow, error) {
+	return TableIISweep(context.Background(), sweep.Config{})
+}
+
+// TableIISweep is TableII on an explicit sweep configuration: one job per
+// degree of nesting, each building its own VM fixture.
+func TableIISweep(ctx context.Context, cfg sweep.Config) ([]TableIIRow, error) {
 	degrees := []struct {
-		name       string
-		nested     int
-		fullNested bool
+		name string
+		spec degreeSpec
 	}{
-		{"shadow only", 0, false},
-		{"switched at 4th level", 1, false},
-		{"switched at 3rd level", 2, false},
-		{"switched at 2nd level", 3, false},
-		{"switched at 1st level", 4, false},
-		{"nested only", 4, true},
+		{"shadow only", degreeSpec{0, false}},
+		{"switched at 4th level", degreeSpec{1, false}},
+		{"switched at 3rd level", degreeSpec{2, false}},
+		{"switched at 2nd level", degreeSpec{3, false}},
+		{"switched at 1st level", degreeSpec{4, false}},
+		{"nested only", degreeSpec{4, true}},
 	}
-	rows := make([]TableIIRow, 0, len(degrees))
+	jobs := make([]sweep.Job[degreeSpec], 0, len(degrees))
 	for _, d := range degrees {
-		row, err := degreeFixture(d.nested, d.fullNested)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", d.name, err)
-		}
-		row.Degree = d.name
-		rows = append(rows, row)
+		jobs = append(jobs, sweep.Job[degreeSpec]{Key: d.name, Options: d.spec})
 	}
-	return rows, nil
+	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[degreeSpec]) (TableIIRow, error) {
+		row, err := degreeFixture(j.Options.nested, j.Options.fullNested)
+		if err != nil {
+			return TableIIRow{}, fmt.Errorf("%s: %w", j.Key, err)
+		}
+		row.Degree = j.Key
+		return row, nil
+	})
 }
 
 // WalkTraces reproduces the numbered access sequences of paper Figure 1:

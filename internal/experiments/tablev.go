@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
 )
@@ -23,14 +26,25 @@ type TableVRow struct {
 
 // TableV measures the workload-characterization table.
 func TableV(accesses int, seed int64) ([]TableVRow, error) {
-	rows := make([]TableVRow, 0, len(workload.Profiles))
-	for _, prof := range workload.Profiles {
+	return TableVSweep(context.Background(), sweep.Config{}, accesses, seed)
+}
+
+// TableVSweep is TableV on an explicit sweep configuration: one
+// base-native job per workload profile.
+func TableVSweep(ctx context.Context, cfg sweep.Config, accesses int, seed int64) ([]TableVRow, error) {
+	profiles := workload.Profiles()
+	jobs := make([]sweep.Job[Options], 0, len(profiles))
+	for _, prof := range profiles {
 		o := DefaultOptions(walker.ModeNative, pagetable.Size4K)
 		o.Accesses = accesses
 		o.Seed = seed
-		rep, err := RunProfile(prof.Name, o)
+		jobs = append(jobs, sweep.Job[Options]{Key: "table5/" + prof.Name, Workload: prof.Name, Options: o})
+	}
+	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (TableVRow, error) {
+		prof, _ := workload.ProfileByName(j.Workload)
+		rep, err := RunProfile(j.Workload, j.Options)
 		if err != nil {
-			return nil, err
+			return TableVRow{}, err
 		}
 		missRatio := 0.0
 		if rep.Machine.Accesses > 0 {
@@ -40,7 +54,7 @@ func TableV(accesses int, seed int64) ([]TableVRow, error) {
 		if procs == 0 {
 			procs = 1
 		}
-		rows = append(rows, TableVRow{
+		return TableVRow{
 			Workload:       prof.Name,
 			FootprintBytes: prof.FootprintBytes,
 			Pattern:        prof.Pattern.String(),
@@ -49,7 +63,6 @@ func TableV(accesses int, seed int64) ([]TableVRow, error) {
 			MissRatio:      missRatio,
 			WalkOverhead:   rep.WalkOverhead(),
 			PTUpdateEvents: rep.OS.MapsInstalled + rep.OS.Unmapped,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

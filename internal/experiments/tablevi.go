@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/sweep"
 	"agilepaging/internal/trace"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
@@ -22,27 +25,38 @@ type TableVIRow struct {
 // paging at 4K with the page walk caches and nested TLB disabled, and
 // classifying every TLB miss (the BadgerTrap step).
 func TableVI(workloads []string, accesses int, seed int64) ([]TableVIRow, error) {
+	return TableVISweep(context.Background(), sweep.Config{}, workloads, accesses, seed)
+}
+
+// TableVISweep is TableVI on an explicit sweep configuration: one job per
+// workload, each with its own private miss log.
+func TableVISweep(ctx context.Context, cfg sweep.Config, workloads []string, accesses int, seed int64) ([]TableVIRow, error) {
 	if workloads == nil {
 		workloads = workload.Names()
 	}
-	rows := make([]TableVIRow, 0, len(workloads))
+	jobs := make([]sweep.Job[Options], 0, len(workloads))
 	for _, name := range workloads {
-		var miss trace.MissLog
 		o := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
 		o.Accesses = accesses
 		o.Seed = seed
 		o.DisablePWC = true
 		o.DisableNTLB = true
+		jobs = append(jobs, sweep.Job[Options]{Key: "table6/" + name, Workload: name, Options: o})
+	}
+	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (TableVIRow, error) {
+		// The miss log is created inside the job so concurrent jobs never
+		// share an observer.
+		var miss trace.MissLog
+		o := j.Options
 		o.MissLog = &miss
-		if _, err := RunProfile(name, o); err != nil {
-			return nil, err
+		if _, err := RunProfile(j.Workload, o); err != nil {
+			return TableVIRow{}, err
 		}
 		s := miss.Summary()
-		row := TableVIRow{Workload: name, AvgRefs: s.AvgRefs()}
+		row := TableVIRow{Workload: j.Workload, AvgRefs: s.AvgRefs()}
 		for c := 0; c < 6; c++ {
 			row.Fractions[c] = s.Fraction(c)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

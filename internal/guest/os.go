@@ -46,6 +46,11 @@ type Stats struct {
 }
 
 // Errors.
+//
+// Concurrency contract: these are the package's only package-level
+// variables; they are assigned once at init and never written again, so
+// concurrent simulations (one OS per cpu.Machine, driven in parallel by
+// internal/sweep) may compare against them freely.
 var (
 	ErrNoProcess = errors.New("guest: no such process")
 	ErrNoRegion  = errors.New("guest: address outside any region")

@@ -8,6 +8,11 @@ import (
 )
 
 // Errors returned by table operations.
+//
+// Concurrency contract: these are the package's only package-level
+// variables; they are assigned once at init and never written again.
+// Table instances themselves are not goroutine-safe — each parallel sweep
+// job builds its tables inside its own cpu.Machine and never shares them.
 var (
 	ErrNotMapped     = errors.New("pagetable: address not mapped")
 	ErrAlreadyMapped = errors.New("pagetable: address already mapped")

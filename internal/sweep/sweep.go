@@ -1,0 +1,162 @@
+// Package sweep is the deterministic parallel job runner underneath the
+// experiments layer.
+//
+// Every experiment driver in this repository is structurally the same
+// program: enumerate a configuration space (workload × page size ×
+// technique × knobs), simulate each point independently, and assemble the
+// results into a table. The simulations share nothing — each cpu.Machine
+// owns its memory, page tables, TLBs and statistics — so the sweep is
+// embarrassingly parallel. This package factors the orchestration out of
+// the drivers: a sweep is declared as an ordered []Job and executed on a
+// bounded worker pool, and Run returns results in declaration order, so
+// parallel output is bit-identical to a serial run regardless of
+// scheduling.
+//
+// Determinism contract: the caller's run function must derive its result
+// only from the job it is handed (plus its own seeded state). Under that
+// contract Run(jobs, fn) with any worker count returns exactly what a
+// serial loop over jobs would; the experiments package's equivalence tests
+// and -race runs enforce it.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job describes one point of a sweep: an identifying key (used in progress
+// reporting and error messages), the workload it simulates, and the
+// driver-specific options the run function consumes.
+type Job[O any] struct {
+	// Key identifies the job in progress output and wrapped errors
+	// (e.g. "dedup/4K/agile").
+	Key string
+	// Workload names the workload the job simulates ("" for
+	// microbenchmark jobs that build their own op streams).
+	Workload string
+	// Options carries the driver-specific run parameters.
+	Options O
+}
+
+// Progress is a snapshot delivered to Config.OnProgress after each job
+// completes.
+type Progress struct {
+	// Done and Total count completed and declared jobs.
+	Done, Total int
+	// Key is the key of the job that just finished.
+	Key string
+	// Elapsed is that job's wall-clock run time.
+	Elapsed time.Duration
+}
+
+// Config parameterizes a sweep execution. The zero value runs on
+// runtime.GOMAXPROCS(0) workers with no progress reporting.
+type Config struct {
+	// Workers bounds the worker pool; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// OnProgress, when non-nil, is invoked after each job completes.
+	// Invocations are serialized (the callback needs no locking) but
+	// arrive in completion order, not declaration order.
+	OnProgress func(Progress)
+}
+
+func (c Config) workers(jobs int) int {
+	n := c.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	return n
+}
+
+// Run executes fn for every job on a bounded worker pool and returns the
+// results in job declaration order.
+//
+// Cancellation and errors: the first job error (by declaration order, so
+// the returned error is deterministic under any scheduling) cancels the
+// context passed to still-running jobs and prevents unstarted jobs from
+// starting; Run then returns that error, wrapped with the job's key. If
+// ctx is canceled externally, Run stops starting jobs and returns
+// ctx.Err() (unless some job also failed, in which case the job error
+// wins). On error the returned slice still holds the results of the jobs
+// that completed; unfinished entries are zero values.
+func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(context.Context, Job[O]) (R, error)) ([]R, error) {
+	if fn == nil {
+		return nil, errors.New("sweep: nil run function")
+	}
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]R, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var (
+		next int64 = -1 // atomically claimed job cursor
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards done and serializes OnProgress
+		done int
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= len(jobs) {
+				return
+			}
+			// A failed or canceled sweep starts no further jobs; claimed
+			// indexes keep their zero results.
+			if ctx.Err() != nil {
+				return
+			}
+			start := time.Now()
+			r, err := fn(ctx, jobs[i])
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			results[i] = r
+			if cfg.OnProgress != nil {
+				mu.Lock()
+				done++
+				cfg.OnProgress(Progress{
+					Done:    done,
+					Total:   len(jobs),
+					Key:     jobs[i].Key,
+					Elapsed: time.Since(start),
+				})
+				mu.Unlock()
+			}
+		}
+	}
+	n := cfg.workers(len(jobs))
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			if jobs[i].Key != "" {
+				return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
+			}
+			return results, fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}

@@ -20,7 +20,12 @@ package workload
 //     high-VMM-overhead case for shadow.
 //   - dedup: allocation-heavy pipeline with content-based sharing — the
 //     paper's worst shadow case (57% of time in VMM servicing updates).
-var Profiles = []Profile{
+//
+// Concurrency contract: profiles is written only at package init and is
+// read-only thereafter — sweep jobs on the parallel runner read it
+// concurrently. It is unexported so no caller can mutate it; Profiles()
+// and ProfileByName hand out copies.
+var profiles = []Profile{
 	{
 		Name:           "memcached",
 		FootprintBytes: 32 << 20,
@@ -96,9 +101,18 @@ var Profiles = []Profile{
 	},
 }
 
-// ProfileByName returns the named profile.
+// Profiles returns the eight evaluation profiles in paper order. The
+// returned slice is a fresh copy, safe for the caller to modify.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileByName returns the named profile (a copy; Profile contains no
+// reference types, so copies share nothing).
 func ProfileByName(name string) (Profile, bool) {
-	for _, p := range Profiles {
+	for _, p := range profiles {
 		if p.Name == name {
 			return p, true
 		}
@@ -108,8 +122,8 @@ func ProfileByName(name string) (Profile, bool) {
 
 // Names lists the profile names in evaluation order.
 func Names() []string {
-	out := make([]string, len(Profiles))
-	for i, p := range Profiles {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
 		out[i] = p.Name
 	}
 	return out

@@ -89,7 +89,7 @@ func TestSyntheticReset(t *testing.T) {
 }
 
 func TestSyntheticAccessesStayInFootprint(t *testing.T) {
-	for _, prof := range Profiles {
+	for _, prof := range Profiles() {
 		g := New(prof, pagetable.Size4K, 3000, 11)
 		for {
 			op, ok := g.Next()
@@ -259,8 +259,8 @@ func TestZipfIsSkewed(t *testing.T) {
 }
 
 func TestProfilesRegistry(t *testing.T) {
-	if len(Profiles) != 8 {
-		t.Fatalf("got %d profiles, want the paper's 8", len(Profiles))
+	if len(Profiles()) != 8 {
+		t.Fatalf("got %d profiles, want the paper's 8", len(Profiles()))
 	}
 	names := Names()
 	for _, want := range []string{"memcached", "canneal", "astar", "gcc", "graph500", "mcf", "tigr", "dedup"} {
