@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-parallel clean
+.PHONY: all check vet build test race bench bench-micro bench-compare bench-parallel clean
 
 all: check
 
@@ -24,6 +24,29 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-micro runs the per-layer hot-path microbenchmarks of PR 2 (entry
+# reads, hardware walks, TLB probes, end-to-end accesses); all of them
+# must report 0 allocs/op.
+bench-micro:
+	$(GO) test -bench . -run '^$$' -count 5 \
+		./internal/memsim ./internal/walker ./internal/tlb ./internal/cpu
+
+# bench-compare diffs the current tree's microbenchmarks against the
+# baseline recorded in BENCH_PR2.json. Uses benchstat when installed;
+# otherwise prints both result sets for eyeball comparison.
+bench-compare:
+	@$(GO) run ./cmd/benchbaseline > /tmp/bench_baseline.txt
+	@$(GO) test -bench . -run '^$$' -count 5 \
+		./internal/memsim ./internal/walker ./internal/tlb ./internal/cpu \
+		> /tmp/bench_current.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat /tmp/bench_baseline.txt /tmp/bench_current.txt; \
+	else \
+		echo "benchstat not installed; baseline (BENCH_PR2.json) vs current:"; \
+		echo "--- baseline ---"; grep -E '^Benchmark' /tmp/bench_baseline.txt; \
+		echo "--- current ---"; grep -E '^Benchmark' /tmp/bench_current.txt; \
+	fi
 
 # bench-parallel compares the serial and parallel Figure 5 sweeps; on a
 # multi-core machine the parallel run should be >= 2x faster.

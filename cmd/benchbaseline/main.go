@@ -1,0 +1,106 @@
+// Command benchbaseline replays the benchmark results recorded in
+// BENCH_PR2.json as standard Go benchmark output, so the committed baseline
+// can be fed straight to benchstat:
+//
+//	go run ./cmd/benchbaseline > old.txt
+//	go test -bench . -run '^$' -count 5 ./internal/... > new.txt
+//	benchstat old.txt new.txt
+//
+// By default it emits the "after" lines (the baseline the current tree is
+// expected to match); -which before emits the pre-optimization numbers that
+// motivated PR 2.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Baseline is the schema of BENCH_PR2.json.
+type Baseline struct {
+	Recorded string `json:"recorded"` // ISO date the numbers were captured
+	Goos     string `json:"goos"`
+	Goarch   string `json:"goarch"`
+	CPU      string `json:"cpu"`
+	Notes    string `json:"notes"`
+	// Before/After hold verbatim `go test -bench` result lines
+	// ("BenchmarkX-N  iters  ns/op ..."), suitable for benchstat.
+	Before []string `json:"before"`
+	After  []string `json:"after"`
+}
+
+func main() {
+	var (
+		path  = flag.String("file", "BENCH_PR2.json", "baseline file to replay")
+		which = flag.String("which", "after", "which recording to emit: before | after")
+	)
+	flag.Parse()
+
+	f := *path
+	if _, err := os.Stat(f); os.IsNotExist(err) {
+		// Allow running from anywhere inside the repo.
+		if root, rerr := findUp("BENCH_PR2.json"); rerr == nil {
+			f = root
+		}
+	}
+	data, err := os.ReadFile(f)
+	if err != nil {
+		fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatal(fmt.Errorf("%s: %w", f, err))
+	}
+	var lines []string
+	switch *which {
+	case "before":
+		lines = b.Before
+	case "after":
+		lines = b.After
+	default:
+		fatal(fmt.Errorf("unknown -which %q (before|after)", *which))
+	}
+	if len(lines) == 0 {
+		fatal(fmt.Errorf("%s: no %q lines recorded", f, *which))
+	}
+	// benchstat reads goos/goarch/cpu as configuration labels.
+	if b.Goos != "" {
+		fmt.Printf("goos: %s\n", b.Goos)
+	}
+	if b.Goarch != "" {
+		fmt.Printf("goarch: %s\n", b.Goarch)
+	}
+	if b.CPU != "" {
+		fmt.Printf("cpu: %s\n", b.CPU)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// findUp walks from the working directory toward the root looking for name.
+func findUp(name string) (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		p := filepath.Join(dir, name)
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+	os.Exit(1)
+}

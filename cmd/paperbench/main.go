@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"agilepaging/internal/experiments"
@@ -31,19 +33,21 @@ import (
 // options holds the parsed command line. Parsing is separated from main so
 // it can be tested without executing simulations.
 type options struct {
-	table     int
-	figure    int
-	ablations bool
-	shsp      bool
-	sens      bool
-	validate  string
-	all       bool
-	accesses  int
-	seed      int64
-	workloads []string
-	csvDir    string
-	parallel  int
-	progress  bool
+	table      int
+	figure     int
+	ablations  bool
+	shsp       bool
+	sens       bool
+	validate   string
+	all        bool
+	accesses   int
+	seed       int64
+	workloads  []string
+	csvDir     string
+	parallel   int
+	progress   bool
+	cpuProfile string
+	memProfile string
 }
 
 // parseArgs parses the paperbench command line (without the program name).
@@ -67,6 +71,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.csvDir, "csv", "", "also write figure5.csv / table6.csv into this directory")
 	fs.IntVar(&o.parallel, "parallel", 0, "simulations to run concurrently (0 = one per CPU, 1 = serial)")
 	fs.BoolVar(&o.progress, "progress", false, "print per-simulation progress to stderr")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -92,6 +98,43 @@ func (o options) sweepConfig(stderr io.Writer) sweep.Config {
 	return cfg
 }
 
+// startProfiles begins CPU profiling (when cpuPath is non-empty) and returns
+// a stop function that finishes the CPU profile and writes the heap profile
+// (when memPath is non-empty). The stop function must run before the process
+// exits, including on error paths.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "-memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "-memprofile:", err)
+			}
+		}
+	}, nil
+}
+
 func main() {
 	opts, err := parseArgs(os.Args[1:], os.Stderr)
 	if err != nil {
@@ -101,6 +144,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(2)
 	}
+
+	stopProfiles, err := startProfiles(opts.cpuProfile, opts.memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	ctx := context.Background()
 	scfg := opts.sweepConfig(os.Stderr)
@@ -112,6 +162,7 @@ func main() {
 		fmt.Printf("==> %s\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Println()

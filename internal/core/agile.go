@@ -261,8 +261,8 @@ func (m *Manager) dirtyScan() {
 // that stays nested while its parent converts becomes a new switch point
 // lazily: the next shadow fill consults the oracle and re-plants the bit.
 func (m *Manager) scanNode(hpt *pagetable.Table, node uint64, isSwitchPoint bool) {
-	r, err := hpt.Lookup(node)
-	if err != nil {
+	r, ok := hpt.TryLookup(node)
+	if !ok {
 		return
 	}
 	if r.Entry.Dirty() {

@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"testing"
+
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// benchMachine builds a machine with one process and a populated region of
+// `pages` 4K pages, context-switched in and ready for accesses.
+func benchMachine(b *testing.B, tech walker.Mode, pages int) (*Machine, uint64) {
+	b.Helper()
+	cfg := smallConfig(tech, pagetable.Size4K)
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := uint64(0x4000_0000)
+	ops := setupOps(base, uint64(pages)<<12, pagetable.Size4K)
+	if err := m.Run(workload.NewFromOps("bench", ops)); err != nil {
+		b.Fatal(err)
+	}
+	return m, base
+}
+
+// BenchmarkAccessHit measures the end-to-end cost of one simulated access
+// that hits the L1 TLB — the simulator's absolute hot path. Must be
+// allocation-free (see TestAccessHitZeroAllocs).
+func BenchmarkAccessHit(b *testing.B) {
+	for _, tech := range []walker.Mode{walker.ModeNative, walker.ModeAgile} {
+		b.Run(tech.String(), func(b *testing.B) {
+			m, base := benchMachine(b, tech, 16)
+			if err := m.Access(base|0x123, false); err != nil { // warm the TLB
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Access(base|0x123, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccessMiss measures an access whose translation misses the whole
+// TLB hierarchy and pays a hardware walk. The footprint cycles through 4×
+// the total TLB capacity so practically every access misses.
+func BenchmarkAccessMiss(b *testing.B) {
+	for _, tech := range []walker.Mode{walker.ModeNative, walker.ModeAgile} {
+		b.Run(tech.String(), func(b *testing.B) {
+			const pages = 4096
+			m, base := benchMachine(b, tech, pages)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				va := base + uint64(i%pages)<<12
+				if err := m.Access(va, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestAccessHitZeroAllocs guards the zero-allocation property of a TLB-hit
+// access end to end (TLB probe, cycle accounting, policy-tick bookkeeping)
+// for both an unvirtualized and an agile machine. If this fails, a change
+// re-introduced a per-access allocation — see DESIGN.md "Performance
+// engineering".
+func TestAccessHitZeroAllocs(t *testing.T) {
+	for _, tech := range []walker.Mode{walker.ModeNative, walker.ModeAgile} {
+		cfg := smallConfig(tech, pagetable.Size4K)
+		// Keep the periodic policy tick out of the measured window; its
+		// (rare) mode-switch work is allowed to allocate.
+		cfg.PolicyTickOps = 1 << 30
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := uint64(0x4000_0000)
+		if err := m.Run(workload.NewFromOps("guard", setupOps(base, 16<<12, pagetable.Size4K))); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Access(base|0x123, false); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := m.Access(base|0x123, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v TLB-hit access allocates %.1f objects/op, want 0", tech, allocs)
+		}
+	}
+}

@@ -125,6 +125,10 @@ type coreState struct {
 	walker *walker.Walker
 	regs   walker.Regs
 	cur    *guest.Process
+	// ctx caches the VMM context of the scheduled process (nil when
+	// unvirtualized or idle) so the fault and policy paths do not resolve
+	// the ASID→context map on every access.
+	ctx *vmm.Context
 }
 
 // Machine is the assembled simulator.
@@ -273,15 +277,17 @@ func (m *Machine) RefsHist() *stats.Hist { return m.refsHist }
 // asidFor maps a PID to its hardware ASID (0 is reserved).
 func asidFor(pid int) uint16 { return uint16(pid + 1) }
 
-// Run executes the generator's op stream to completion.
+// Run executes the generator's op stream to completion. Errors carry the
+// zero-based index of the failing op within the stream so deterministic
+// workloads can be replayed up to the failure point.
 func (m *Machine) Run(gen workload.Generator) error {
-	for {
+	for i := 0; ; i++ {
 		op, ok := gen.Next()
 		if !ok {
 			return nil
 		}
 		if err := m.Exec(op); err != nil {
-			return fmt.Errorf("op %v pid=%d va=%#x: %w", op.Kind, op.PID, op.VA, err)
+			return fmt.Errorf("op %d (%v) pid=%d va=%#x: %w", i, op.Kind, op.PID, op.VA, err)
 		}
 	}
 }
@@ -338,6 +344,7 @@ func (m *Machine) ContextSwitchOn(coreIdx, pid int) error {
 	c.cur = p
 	if m.VM == nil {
 		c.regs = walker.Regs{Mode: walker.ModeNative, Root: p.PT.Root(), ASID: p.ASID}
+		c.ctx = nil
 		return nil
 	}
 	regs, err := m.VM.ContextSwitch(p.ASID)
@@ -345,6 +352,11 @@ func (m *Machine) ContextSwitchOn(coreIdx, pid int) error {
 		return err
 	}
 	c.regs = regs
+	ctx, ok := m.VM.Context(p.ASID)
+	if !ok {
+		return fmt.Errorf("cpu: no VMM context for asid %d", p.ASID)
+	}
+	c.ctx = ctx
 	return nil
 }
 
@@ -374,13 +386,21 @@ func (m *Machine) accessOn(coreIdx int, va uint64, write, fetch bool) error {
 	if cur == nil || c.regs.ASID == 0 {
 		return errNoProcess
 	}
+	// translate + an unconditional policyTick call, split out so the hot
+	// path pays a direct call rather than a deferred one.
+	err := m.translate(c, cur, va, write, fetch)
+	m.policyTick()
+	return err
+}
+
+// translate runs the translation loop of one access: TLB probe, hardware
+// walk, fault servicing, permission upgrades, and retry.
+func (m *Machine) translate(c *coreState, cur *guest.Process, va uint64, write, fetch bool) error {
 	m.stats.Accesses++
 	if write {
 		m.stats.Writes++
 	}
 	m.charge(&m.stats.IdealCycles, &m.sinceTickIdeal, m.cfg.AccessCycles)
-
-	defer m.policyTick()
 
 	for attempt := 0; attempt < 32; attempt++ {
 		if r, ok := c.tlbs.Lookup(c.regs.ASID, va, fetch); ok {
@@ -424,8 +444,8 @@ func (m *Machine) handleFault(c *coreState, cur *guest.Process, va uint64, write
 			m.stats.GuestPageFaults++
 			return m.OS.HandlePageFault(cur.PID, va, write)
 		}
-		ctx, ok := m.VM.Context(cur.ASID)
-		if !ok {
+		ctx := c.ctx
+		if ctx == nil {
 			return fmt.Errorf("cpu: no VMM context for asid %d", cur.ASID)
 		}
 		out, err := ctx.HandleShadowFault(va, write)
@@ -455,8 +475,8 @@ func (m *Machine) writeProtFault(c *coreState, cur *guest.Process, va uint64) er
 		m.stats.GuestPageFaults++
 		return m.OS.HandlePageFault(cur.PID, va, true)
 	}
-	ctx, ok := m.VM.Context(cur.ASID)
-	if !ok {
+	ctx := c.ctx
+	if ctx == nil {
 		return fmt.Errorf("cpu: no VMM context for asid %d", cur.ASID)
 	}
 	resolved, err := ctx.HandleWriteProtect(va)
@@ -520,11 +540,9 @@ func (m *Machine) policyTick() {
 	for _, ctl := range m.shsp {
 		ctl.Tick(m.clock, missOverhead, trapOverhead, faultRate)
 	}
-	if m.VM != nil {
-		for _, c := range m.cores {
-			if ctx, ok := m.VM.Context(c.regs.ASID); ok {
-				c.regs = ctx.Regs() // policies may have changed mode state
-			}
+	for _, c := range m.cores {
+		if c.ctx != nil {
+			c.regs = c.ctx.Regs() // policies may have changed mode state
 		}
 	}
 	m.sinceTickAccesses = 0

@@ -205,8 +205,8 @@ func (o *OS) Munmap(pid int, addr uint64) error {
 		return fmt.Errorf("%w: %#x", ErrNoRegion, addr)
 	}
 	for va := r.Base; va < r.End(); va += r.PageSize.Bytes() {
-		res, lerr := p.PT.Lookup(va)
-		if lerr != nil {
+		res, ok := p.PT.TryLookup(va)
+		if !ok {
 			continue
 		}
 		// The mapping may be larger than the region's page-size policy if
@@ -286,7 +286,7 @@ func (o *OS) Populate(pid int, addr uint64) error {
 		return fmt.Errorf("%w: %#x", ErrNoRegion, addr)
 	}
 	for va := r.Base; va < r.End(); va += r.PageSize.Bytes() {
-		if _, lerr := p.PT.Lookup(va); lerr == nil {
+		if _, ok := p.PT.TryLookup(va); ok {
 			continue
 		}
 		// Populated pages model initialized data: the program wrote them
@@ -312,7 +312,7 @@ func (o *OS) HandlePageFault(pid int, va uint64, write bool) error {
 	}
 	o.stats.PageFaults++
 	base := pagetable.PageBase(va, r.PageSize)
-	if res, lerr := p.PT.Lookup(base); lerr == nil {
+	if res, ok := p.PT.TryLookup(base); ok {
 		if write && p.cow[base] {
 			return o.breakCOW(p, r, base, res)
 		}
@@ -356,7 +356,7 @@ func (o *OS) MarkCOW(pid int, addr uint64) error {
 		return fmt.Errorf("%w: %#x", ErrNoRegion, addr)
 	}
 	for va := r.Base; va < r.End(); va += r.PageSize.Bytes() {
-		if _, lerr := p.PT.Lookup(va); lerr != nil {
+		if _, ok := p.PT.TryLookup(va); !ok {
 			continue
 		}
 		if err := p.PT.ClearFlags(va, pagetable.FlagWrite); err != nil {

@@ -1,0 +1,58 @@
+package memsim
+
+import "testing"
+
+// BenchmarkReadEntry measures the page-walker's single most frequent
+// operation: dereferencing one entry of a table page. This must stay at a
+// couple of bounds-checked array indexes with zero allocations — it runs
+// once per simulated page-walk memory reference.
+func BenchmarkReadEntry(b *testing.B) {
+	m := New(64 << 20)
+	f, err := m.AllocTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.WriteEntry(f, 7, 0xabc007)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		sum += m.ReadEntry(f, i&(EntriesPerTable-1))
+	}
+	sink = sum
+}
+
+// BenchmarkWriteEntry measures the matching store path (A/D bit updates,
+// table construction).
+func BenchmarkWriteEntry(b *testing.B) {
+	m := New(64 << 20)
+	f, err := m.AllocTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WriteEntry(f, i&(EntriesPerTable-1), uint64(i))
+	}
+}
+
+// BenchmarkAllocFreeFrame measures data-frame allocator turnaround (the
+// mmap-churn path).
+func BenchmarkAllocFreeFrame(b *testing.B) {
+	m := New(64 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.FreeFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sink defeats dead-code elimination of benchmark loops.
+var sink uint64

@@ -7,6 +7,15 @@
 // pagetable) can read and write individual entries; data frames carry no
 // content, only identity, because the simulator accounts for translation
 // behaviour rather than data values.
+//
+// The backing structures are dense and pointer-free: allocation state lives
+// in a bitmap, and table pages live in a pooled arena addressed through an
+// int32 frame-number index, both grown lazily to the allocation high-water
+// mark. ReadEntry/WriteEntry — executed once per simulated page-walk memory
+// reference, the currency of the paper's evaluation — are therefore a few
+// bounds-checked array indexes with no hashing and no allocation, and none
+// of the backing arrays contain pointers the garbage collector would have
+// to scan. See DESIGN.md "Performance engineering".
 package memsim
 
 import (
@@ -43,8 +52,21 @@ type Memory struct {
 	totalFrames uint64
 	nextFrame   Frame
 	freeList    []Frame
-	tables      map[Frame]*[EntriesPerTable]uint64
-	allocated   map[Frame]bool
+	// tableIdx[f] is 1 + the pool slot of the materialized page-table page
+	// in frame f, or 0 for data and unallocated frames. Sized lazily to the
+	// allocation high-water mark; int32 slots keep it compact and free of
+	// pointers, so the garbage collector never scans it.
+	tableIdx []int32
+	// pool is the arena of materialized table pages; slots freed when a
+	// table frame is released are recycled through poolFree. The element
+	// type carries no pointers, so the backing array is invisible to the
+	// garbage collector.
+	pool     [][EntriesPerTable]uint64
+	poolFree []int32
+	// allocated is a bitmap over frame numbers (bit f of word f/64), sized
+	// lazily like tableIdx.
+	allocated  []uint64
+	allocCount int
 }
 
 // New creates a Memory holding the given number of bytes, rounded down to a
@@ -58,9 +80,62 @@ func New(bytes uint64) *Memory {
 	return &Memory{
 		totalFrames: frames,
 		nextFrame:   1, // frame 0 reserved as the nil frame
-		tables:      make(map[Frame]*[EntriesPerTable]uint64),
-		allocated:   make(map[Frame]bool),
 	}
+}
+
+// grow extends the frame-indexed structures to cover frame f. The bump
+// allocator hands out frames in increasing order, so doubling amortizes the
+// copies; both slices are capped at the configured frame count.
+func (m *Memory) grow(f Frame) {
+	if need := uint64(f) + 1; uint64(len(m.tableIdx)) < need {
+		n := 2 * uint64(cap(m.tableIdx))
+		if n < need {
+			n = need
+		}
+		if n < 1024 {
+			n = 1024
+		}
+		if n > m.totalFrames {
+			n = m.totalFrames
+		}
+		ti := make([]int32, n)
+		copy(ti, m.tableIdx)
+		m.tableIdx = ti
+	}
+	if words := (uint64(f) >> 6) + 1; uint64(len(m.allocated)) < words {
+		n := 2 * uint64(cap(m.allocated))
+		if n < words {
+			n = words
+		}
+		if max := (m.totalFrames + 63) / 64; n > max {
+			n = max
+		}
+		al := make([]uint64, n)
+		copy(al, m.allocated)
+		m.allocated = al
+	}
+}
+
+// isAllocated reports whether frame f is currently allocated.
+func (m *Memory) isAllocated(f Frame) bool {
+	w := uint64(f) >> 6
+	if uint64(f) >= m.totalFrames || w >= uint64(len(m.allocated)) {
+		return false
+	}
+	return m.allocated[w]&(1<<(f&63)) != 0
+}
+
+// setAllocated marks frame f allocated.
+func (m *Memory) setAllocated(f Frame) {
+	m.grow(f)
+	m.allocated[f>>6] |= 1 << (f & 63)
+	m.allocCount++
+}
+
+// clearAllocated marks frame f free.
+func (m *Memory) clearAllocated(f Frame) {
+	m.allocated[f>>6] &^= 1 << (f & 63)
+	m.allocCount--
 }
 
 // TotalFrames reports the number of frames the memory holds, including the
@@ -68,14 +143,14 @@ func New(bytes uint64) *Memory {
 func (m *Memory) TotalFrames() uint64 { return m.totalFrames }
 
 // AllocatedFrames reports the number of currently allocated frames.
-func (m *Memory) AllocatedFrames() int { return len(m.allocated) }
+func (m *Memory) AllocatedFrames() int { return m.allocCount }
 
 // AllocFrame allocates one data frame.
 func (m *Memory) AllocFrame() (Frame, error) {
 	if n := len(m.freeList); n > 0 {
 		f := m.freeList[n-1]
 		m.freeList = m.freeList[:n-1]
-		m.allocated[f] = true
+		m.setAllocated(f)
 		return f, nil
 	}
 	if uint64(m.nextFrame) >= m.totalFrames {
@@ -83,7 +158,7 @@ func (m *Memory) AllocFrame() (Frame, error) {
 	}
 	f := m.nextFrame
 	m.nextFrame++
-	m.allocated[f] = true
+	m.setAllocated(f)
 	return f, nil
 }
 
@@ -99,7 +174,7 @@ func (m *Memory) AllocContiguous(n int) (Frame, error) {
 	}
 	first := m.nextFrame
 	for i := 0; i < n; i++ {
-		m.allocated[m.nextFrame] = true
+		m.setAllocated(m.nextFrame)
 		m.nextFrame++
 	}
 	return first, nil
@@ -124,6 +199,22 @@ func (m *Memory) AllocContiguousAligned(n, alignFrames int) (Frame, error) {
 	return m.AllocContiguous(n)
 }
 
+// materialize installs a zeroed table page for the (already allocated,
+// already covered by tableIdx) frame f, recycling a pooled page when one is
+// free.
+func (m *Memory) materialize(f Frame) {
+	var slot int32
+	if n := len(m.poolFree); n > 0 {
+		slot = m.poolFree[n-1]
+		m.poolFree = m.poolFree[:n-1]
+		m.pool[slot] = [EntriesPerTable]uint64{}
+	} else {
+		m.pool = append(m.pool, [EntriesPerTable]uint64{})
+		slot = int32(len(m.pool) - 1)
+	}
+	m.tableIdx[f] = slot + 1
+}
+
 // AllocTable allocates a frame and materializes it as a zeroed page-table
 // page.
 func (m *Memory) AllocTable() (Frame, error) {
@@ -131,7 +222,7 @@ func (m *Memory) AllocTable() (Frame, error) {
 	if err != nil {
 		return 0, err
 	}
-	m.tables[f] = new([EntriesPerTable]uint64)
+	m.materialize(f)
 	return f, nil
 }
 
@@ -140,11 +231,11 @@ func (m *Memory) AllocTable() (Frame, error) {
 // its (pre-backed) RAM as a page-table page. Materializing a frame that is
 // already a table is a no-op.
 func (m *Memory) MaterializeTable(f Frame) error {
-	if !m.allocated[f] {
+	if !m.isAllocated(f) {
 		return fmt.Errorf("memsim: materialize of unallocated frame %#x", uint64(f))
 	}
-	if _, ok := m.tables[f]; !ok {
-		m.tables[f] = new([EntriesPerTable]uint64)
+	if m.tableIdx[f] == 0 {
+		m.materialize(f)
 	}
 	return nil
 }
@@ -155,19 +246,21 @@ func (m *Memory) FreeFrame(f Frame) error {
 	if f == 0 {
 		return errors.New("memsim: free of nil frame")
 	}
-	if !m.allocated[f] {
+	if !m.isAllocated(f) {
 		return fmt.Errorf("memsim: double free of frame %#x", uint64(f))
 	}
-	delete(m.allocated, f)
-	delete(m.tables, f)
+	m.clearAllocated(f)
+	if ti := m.tableIdx[f]; ti != 0 {
+		m.poolFree = append(m.poolFree, ti-1)
+		m.tableIdx[f] = 0
+	}
 	m.freeList = append(m.freeList, f)
 	return nil
 }
 
 // IsTable reports whether frame f holds a materialized page-table page.
 func (m *Memory) IsTable(f Frame) bool {
-	_, ok := m.tables[f]
-	return ok
+	return uint64(f) < uint64(len(m.tableIdx)) && m.tableIdx[f] != 0
 }
 
 // ReadEntry reads entry idx of the page-table page in frame f.
@@ -175,28 +268,25 @@ func (m *Memory) IsTable(f Frame) bool {
 // walker only ever dereferences pointers the simulator itself installed, so
 // a violation is a simulator bug, not a guest error.
 func (m *Memory) ReadEntry(f Frame, idx int) uint64 {
-	t, ok := m.tables[f]
-	if !ok {
+	if uint64(f) >= uint64(len(m.tableIdx)) || m.tableIdx[f] == 0 {
 		panic(fmt.Sprintf("memsim: read of non-table frame %#x", uint64(f)))
 	}
-	return t[idx]
+	return m.pool[m.tableIdx[f]-1][idx]
 }
 
 // WriteEntry writes entry idx of the page-table page in frame f.
 func (m *Memory) WriteEntry(f Frame, idx int, val uint64) {
-	t, ok := m.tables[f]
-	if !ok {
+	if uint64(f) >= uint64(len(m.tableIdx)) || m.tableIdx[f] == 0 {
 		panic(fmt.Sprintf("memsim: write of non-table frame %#x", uint64(f)))
 	}
-	t[idx] = val
+	m.pool[m.tableIdx[f]-1][idx] = val
 }
 
 // TableSnapshot returns a copy of the 512 entries of table frame f, for
 // tests and debugging.
 func (m *Memory) TableSnapshot(f Frame) [EntriesPerTable]uint64 {
-	t, ok := m.tables[f]
-	if !ok {
+	if uint64(f) >= uint64(len(m.tableIdx)) || m.tableIdx[f] == 0 {
 		panic(fmt.Sprintf("memsim: snapshot of non-table frame %#x", uint64(f)))
 	}
-	return *t
+	return m.pool[m.tableIdx[f]-1]
 }

@@ -215,3 +215,148 @@ func TestAllocContiguousAligned(t *testing.T) {
 		t.Errorf("err = %v, want ErrOutOfMemory", err)
 	}
 }
+
+func TestMaterializeTable(t *testing.T) {
+	m := New(1 << 20)
+	f, _ := m.AllocFrame()
+	if m.IsTable(f) {
+		t.Fatal("data frame reported as table before materialization")
+	}
+	if err := m.MaterializeTable(f); err != nil {
+		t.Fatalf("MaterializeTable: %v", err)
+	}
+	if !m.IsTable(f) {
+		t.Fatal("IsTable = false after MaterializeTable")
+	}
+	m.WriteEntry(f, 3, 0x77)
+	// Idempotence: re-materializing must keep existing entries, not re-zero.
+	if err := m.MaterializeTable(f); err != nil {
+		t.Fatalf("second MaterializeTable: %v", err)
+	}
+	if v := m.ReadEntry(f, 3); v != 0x77 {
+		t.Fatalf("entry lost on re-materialize: got %#x, want 0x77", v)
+	}
+	// Unallocated frames cannot be materialized.
+	if err := m.MaterializeTable(Frame(200)); err == nil {
+		t.Error("MaterializeTable of unallocated frame should fail")
+	}
+	if err := m.MaterializeTable(Frame(1 << 40)); err == nil {
+		t.Error("MaterializeTable of out-of-range frame should fail")
+	}
+}
+
+func TestReallocReusesFreedTableAsDataFrame(t *testing.T) {
+	m := New(1 << 20)
+	f, _ := m.AllocTable()
+	m.WriteEntry(f, 0, 0xfeed)
+	if err := m.FreeFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != f {
+		t.Fatalf("expected freed table frame %#x to be reused, got %#x", uint64(f), uint64(g))
+	}
+	// The recycled frame is a plain data frame: the table identity (and its
+	// old contents) must not leak across the free/realloc cycle.
+	if m.IsTable(g) {
+		t.Fatal("recycled frame still carries table identity")
+	}
+	if err := m.MaterializeTable(g); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.ReadEntry(g, 0); v != 0 {
+		t.Fatalf("stale entry %#x visible after realloc+materialize, want 0", v)
+	}
+}
+
+func TestAllocContiguousAlignedFreelistReturns(t *testing.T) {
+	m := New(64 << 20)
+	for i := 0; i < 3; i++ { // push the bump pointer 3 frames past alignment
+		if _, err := m.AllocFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.AllocatedFrames()
+	f, err := m.AllocContiguousAligned(512, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AllocatedFrames(); got != before+512 {
+		t.Fatalf("AllocatedFrames = %d after aligned alloc, want %d (skipped frames must not count)", got, before+512)
+	}
+	// All 508 frames skipped for alignment land on the free list and are
+	// handed out before the bump pointer moves again.
+	for i := 0; i < 508; i++ {
+		g, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g >= f {
+			t.Fatalf("alloc %d: frame %#x is past the aligned run start %#x", i, uint64(g), uint64(f))
+		}
+	}
+	g, err := m.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < f+512 {
+		t.Fatalf("free list should be drained, got frame %#x inside/before the run", uint64(g))
+	}
+}
+
+func TestOOMAtExactCapacity(t *testing.T) {
+	const frames = 16
+	m := New(frames * FrameSize)
+	// Frame 0 is reserved, so exactly frames-1 are usable.
+	if _, err := m.AllocContiguous(frames - 1); err != nil {
+		t.Fatalf("AllocContiguous at exact capacity: %v", err)
+	}
+	if got := m.AllocatedFrames(); got != frames-1 {
+		t.Fatalf("AllocatedFrames = %d, want %d", got, frames-1)
+	}
+	if _, err := m.AllocFrame(); err != ErrOutOfMemory {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := m.AllocContiguous(1); err != ErrOutOfMemory {
+		t.Fatalf("AllocContiguous err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := m.AllocContiguousAligned(1, 8); err != ErrOutOfMemory {
+		t.Fatalf("AllocContiguousAligned err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+// TestPanicMessagesPreserved pins the exact panic text of the table
+// accessors: debugging scripts and the walker's invariants reference these
+// strings, and the dense-backing refactor must not have changed them.
+func TestPanicMessagesPreserved(t *testing.T) {
+	m := New(1 << 20)
+	f, _ := m.AllocFrame() // data frame, not a table
+	cases := []struct {
+		name string
+		fn   func()
+		want string
+	}{
+		{"ReadEntry", func() { m.ReadEntry(f, 0) }, "memsim: read of non-table frame 0x1"},
+		{"WriteEntry", func() { m.WriteEntry(f, 0, 1) }, "memsim: write of non-table frame 0x1"},
+		{"TableSnapshot", func() { m.TableSnapshot(f) }, "memsim: snapshot of non-table frame 0x1"},
+		{"ReadEntryOutOfRange", func() { m.ReadEntry(Frame(1<<40), 0) }, "memsim: read of non-table frame 0x10000000000"},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s did not panic", c.name)
+					return
+				}
+				if msg, ok := r.(string); !ok || msg != c.want {
+					t.Errorf("%s panic = %v, want %q", c.name, r, c.want)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}

@@ -296,11 +296,30 @@ type WalkResult struct {
 // Lookup performs a software walk of the table (no hardware accounting) and
 // returns the leaf translation for va.
 func (t *Table) Lookup(va uint64) (WalkResult, error) {
+	r, level, ok := t.lookup(va)
+	if !ok {
+		return WalkResult{}, fmt.Errorf("%w: va=%#x at level %d", ErrNotMapped, va, level)
+	}
+	return r, nil
+}
+
+// TryLookup is Lookup for callers that treat a miss as a boolean condition
+// rather than an error: the software fault and shadow-fill paths probe
+// tables constantly, and constructing a descriptive error for every miss
+// was a measurable share of the simulation loop.
+func (t *Table) TryLookup(va uint64) (WalkResult, bool) {
+	r, _, ok := t.lookup(va)
+	return r, ok
+}
+
+// lookup walks the table; on a miss it reports the level that terminated
+// the walk.
+func (t *Table) lookup(va uint64) (WalkResult, int, bool) {
 	pageAddr := t.root
 	for level := 0; level < NumLevels; level++ {
 		e := t.readEntry(pageAddr, IndexAt(va, level))
 		if !e.Present() {
-			return WalkResult{}, fmt.Errorf("%w: va=%#x at level %d", ErrNotMapped, va, level)
+			return WalkResult{}, level, false
 		}
 		size, leafOK := SizeAtLevel(level)
 		if level == NumLevels-1 || (e.Huge() && leafOK) {
@@ -309,7 +328,7 @@ func (t *Table) Lookup(va uint64) (WalkResult, error) {
 				Level: level,
 				Size:  size,
 				PA:    e.Addr() | va&size.Mask(),
-			}, nil
+			}, level, true
 		}
 		pageAddr = e.Addr()
 	}

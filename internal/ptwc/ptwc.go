@@ -27,6 +27,11 @@ type pwcArray struct {
 	ways  int
 	lines []pwcLine
 	clock uint64
+	// Set counts are powers of two for every realistic geometry, letting
+	// the per-reference set index be a mask instead of a division; the
+	// modulo fallback keeps odd test geometries working.
+	setMask  uint64 // sets-1 when sets is a power of two
+	setsPow2 bool
 }
 
 func newPWCArray(entries, ways int) *pwcArray {
@@ -43,11 +48,21 @@ func newPWCArray(entries, ways int) *pwcArray {
 	if sets < 1 {
 		sets = 1
 	}
-	return &pwcArray{sets: sets, ways: ways, lines: make([]pwcLine, sets*ways)}
+	a := &pwcArray{sets: sets, ways: ways, lines: make([]pwcLine, sets*ways)}
+	if sets&(sets-1) == 0 {
+		a.setsPow2 = true
+		a.setMask = uint64(sets - 1)
+	}
+	return a
 }
 
 func (a *pwcArray) set(tag uint64) []pwcLine {
-	s := int(tag % uint64(a.sets))
+	var s int
+	if a.setsPow2 {
+		s = int(tag & a.setMask)
+	} else {
+		s = int(tag % uint64(a.sets))
+	}
 	return a.lines[s*a.ways : (s+1)*a.ways]
 }
 
@@ -86,8 +101,9 @@ func (a *pwcArray) insert(asid uint16, tag, ptr uint64, nested bool) {
 }
 
 func (a *pwcArray) invalidate(asid uint16, tag uint64) {
-	for i := range a.set(tag) {
-		l := &a.set(tag)[i]
+	set := a.set(tag)
+	for i := range set {
+		l := &set[i]
 		if l.valid && l.asid == asid && l.tag == tag {
 			l.valid = false
 		}

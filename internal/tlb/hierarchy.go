@@ -6,7 +6,9 @@ import (
 	"agilepaging/internal/pagetable"
 )
 
-// ArrayConfig sizes one TLB array.
+// ArrayConfig sizes one TLB array. Entries <= 0 means the array is absent
+// from the hierarchy (it is never probed and never hits); an absent array is
+// normalized to the zero ArrayConfig, Ways included.
 type ArrayConfig struct {
 	Entries int
 	Ways    int // Ways >= Entries means fully associative
@@ -51,10 +53,15 @@ func (c Config) Scaled(factor int) Config {
 	}
 	s := func(a ArrayConfig, f int) ArrayConfig {
 		a.Entries /= f
+		if a.Entries <= 0 {
+			// Scaled out of existence: normalize to the canonical
+			// "array absent" form rather than keeping a stale Ways.
+			return ArrayConfig{}
+		}
 		if a.Entries < a.Ways {
 			a.Ways = a.Entries
 		}
-		if a.Entries > 0 && a.Ways < 1 {
+		if a.Ways < 1 {
 			a.Ways = 1
 		}
 		return a
@@ -96,6 +103,13 @@ type Result struct {
 	Level int // 1 = L1 hit, 2 = L2 hit
 }
 
+// probe pairs an array with its page size, so Lookup walks a precomputed
+// dense list of present arrays instead of re-testing nil slots per access.
+type probe struct {
+	c    *setAssoc
+	size pagetable.Size
+}
+
 // Hierarchy is a per-core two-level TLB.
 type Hierarchy struct {
 	cfg   Config
@@ -103,6 +117,15 @@ type Hierarchy struct {
 	i1    [3]*setAssoc
 	l2    [3]*setAssoc
 	stats Stats
+
+	// Precomputed hot-path views (built once in NewHierarchy): per-side
+	// probe order and the flat list of every present array for the
+	// invalidate/flush broadcasts. These remove the per-call slice-literal
+	// allocations and nil re-checks from the access path.
+	d1probe []probe
+	i1probe []probe
+	l2probe []probe
+	all     []*setAssoc
 }
 
 // NewHierarchy builds the hierarchy from cfg. Arrays with zero entries are
@@ -114,7 +137,7 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		}
 		return newSetAssoc(size, a.Entries, a.Ways)
 	}
-	return &Hierarchy{
+	h := &Hierarchy{
 		cfg: cfg,
 		d1: [3]*setAssoc{
 			pagetable.Size4K: mk(pagetable.Size4K, cfg.L1D4K),
@@ -130,6 +153,20 @@ func NewHierarchy(cfg Config) *Hierarchy {
 			pagetable.Size2M: mk(pagetable.Size2M, cfg.L22M),
 		},
 	}
+	probes := func(group *[3]*setAssoc) []probe {
+		var ps []probe
+		for sz, c := range group {
+			if c != nil {
+				ps = append(ps, probe{c: c, size: pagetable.Size(sz)})
+				h.all = append(h.all, c)
+			}
+		}
+		return ps
+	}
+	h.d1probe = probes(&h.d1)
+	h.i1probe = probes(&h.i1)
+	h.l2probe = probes(&h.l2)
+	return h
 }
 
 // Stats returns a copy of the accumulated counters.
@@ -142,31 +179,23 @@ func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
 // the instruction side. An L2 hit refills the appropriate L1 array.
 func (h *Hierarchy) Lookup(asid uint16, va uint64, fetch bool) (Result, bool) {
 	h.stats.Lookups++
-	l1 := &h.d1
+	l1, l1probe := &h.d1, h.d1probe
 	if fetch {
-		l1 = &h.i1
+		l1, l1probe = &h.i1, h.i1probe
 	}
-	for sz, c := range l1 {
-		if c == nil {
-			continue
-		}
-		if pa, flags, ok := c.lookup(asid, va); ok {
+	for _, p := range l1probe {
+		if pa, flags, ok := p.c.lookup(asid, va); ok {
 			h.stats.L1Hits++
-			size := pagetable.Size(sz)
-			return Result{PA: pa | va&size.Mask(), Size: size, Flags: flags, Level: 1}, true
+			return Result{PA: pa | va&p.size.Mask(), Size: p.size, Flags: flags, Level: 1}, true
 		}
 	}
-	for sz, c := range h.l2 {
-		if c == nil {
-			continue
-		}
-		if pa, flags, ok := c.lookup(asid, va); ok {
+	for _, p := range h.l2probe {
+		if pa, flags, ok := p.c.lookup(asid, va); ok {
 			h.stats.L2Hits++
-			size := pagetable.Size(sz)
-			if refill := l1[sz]; refill != nil {
-				refill.insert(asid, pagetable.PageBase(va, size), pa, flags)
+			if refill := l1[p.size]; refill != nil {
+				refill.insert(asid, pagetable.PageBase(va, p.size), pa, flags)
 			}
-			return Result{PA: pa | va&size.Mask(), Size: size, Flags: flags, Level: 2}, true
+			return Result{PA: pa | va&p.size.Mask(), Size: p.size, Flags: flags, Level: 2}, true
 		}
 	}
 	h.stats.Misses++
@@ -193,12 +222,8 @@ func (h *Hierarchy) Insert(asid uint16, va uint64, size pagetable.Size, paBase u
 // (all page sizes, both L1 sides and L2), modeling INVLPG.
 func (h *Hierarchy) InvalidatePage(asid uint16, va uint64) {
 	h.stats.Invalids++
-	for _, group := range []*[3]*setAssoc{&h.d1, &h.i1, &h.l2} {
-		for _, c := range group {
-			if c != nil {
-				c.invalidate(asid, va)
-			}
-		}
+	for _, c := range h.all {
+		c.invalidate(asid, va)
 	}
 }
 
@@ -206,24 +231,16 @@ func (h *Hierarchy) InvalidatePage(asid uint16, va uint64) {
 // CR3 write with PGE enabled.
 func (h *Hierarchy) FlushASID(asid uint16) {
 	h.stats.Flushes++
-	for _, group := range []*[3]*setAssoc{&h.d1, &h.i1, &h.l2} {
-		for _, c := range group {
-			if c != nil {
-				c.flush(asid, false, true)
-			}
-		}
+	for _, c := range h.all {
+		c.flush(asid, false, true)
 	}
 }
 
 // FlushAll drops every translation including globals.
 func (h *Hierarchy) FlushAll() {
 	h.stats.Flushes++
-	for _, group := range []*[3]*setAssoc{&h.d1, &h.i1, &h.l2} {
-		for _, c := range group {
-			if c != nil {
-				c.flush(0, true, false)
-			}
-		}
+	for _, c := range h.all {
+		c.flush(0, true, false)
 	}
 }
 

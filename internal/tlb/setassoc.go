@@ -5,7 +5,11 @@
 // cached translation is gVA⇒hPA regardless of technique (paper Table I).
 package tlb
 
-import "agilepaging/internal/pagetable"
+import (
+	"math/bits"
+
+	"agilepaging/internal/pagetable"
+)
 
 // line is one TLB entry.
 type line struct {
@@ -26,6 +30,13 @@ type setAssoc struct {
 	ways  int
 	lines []line // sets*ways, row-major by set
 	clock uint64
+
+	// Hot-path indexing state, precomputed at construction: page sizes are
+	// powers of two, so the VPN is a shift; set counts usually are too, so
+	// the set index is usually a mask (with a modulo fallback otherwise).
+	pageShift uint   // log2(size.Bytes())
+	setMask   uint64 // sets-1 when sets is a power of two
+	setsPow2  bool
 }
 
 // newSetAssoc builds a cache with the given total entries and associativity.
@@ -45,20 +56,31 @@ func newSetAssoc(size pagetable.Size, entries, ways int) *setAssoc {
 	if sets < 1 {
 		sets = 1
 	}
-	return &setAssoc{
+	c := &setAssoc{
 		size:  size,
 		sets:  sets,
 		ways:  ways,
 		lines: make([]line, sets*ways),
 	}
+	c.pageShift = uint(bits.TrailingZeros64(size.Bytes()))
+	if sets&(sets-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = uint64(sets - 1)
+	}
+	return c
 }
 
 func (c *setAssoc) vpn(va uint64) uint64 {
-	return va / c.size.Bytes()
+	return va >> c.pageShift
 }
 
 func (c *setAssoc) set(vpn uint64) []line {
-	s := int(vpn % uint64(c.sets))
+	var s int
+	if c.setsPow2 {
+		s = int(vpn & c.setMask)
+	} else {
+		s = int(vpn % uint64(c.sets))
+	}
 	return c.lines[s*c.ways : (s+1)*c.ways]
 }
 

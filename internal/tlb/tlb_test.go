@@ -270,3 +270,34 @@ func TestOccupancyAndString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+// TestScaledNormalizesAbsentArrays pins the Scaled contract for extreme
+// factors: an array whose entry count scales to zero must come back as the
+// canonical zero ArrayConfig (Ways included, not a stale associativity), and
+// surviving arrays keep at least one way. Factor 64 drives every Sandy
+// Bridge array through one of the two regimes.
+func TestScaledNormalizesAbsentArrays(t *testing.T) {
+	c := SandyBridgeConfig().Scaled(64)
+	// factor 64 → large-page factor 16.
+	want := Config{
+		L1D4K: ArrayConfig{Entries: 1, Ways: 1}, // 64/64
+		L1D2M: ArrayConfig{Entries: 2, Ways: 2}, // 32/16
+		L1D1G: ArrayConfig{},                    // 4/16 → absent
+		L1I4K: ArrayConfig{Entries: 2, Ways: 2}, // 128/64
+		L1I2M: ArrayConfig{},                    // 8/16 → absent
+		L24K:  ArrayConfig{Entries: 8, Ways: 4}, // 512/64
+		L22M:  ArrayConfig{},                    // absent stays absent
+	}
+	if c != want {
+		t.Errorf("SandyBridgeConfig().Scaled(64) = %+v, want %+v", c, want)
+	}
+	// A hierarchy built from the scaled config must treat the zeroed
+	// arrays as absent rather than materializing degenerate caches.
+	h := NewHierarchy(c)
+	if h.d1[pagetable.Size1G] != nil || h.i1[pagetable.Size2M] != nil || h.l2[pagetable.Size2M] != nil {
+		t.Error("arrays scaled to zero entries were materialized")
+	}
+	if _, ok := h.Lookup(1, 1<<30, false); ok {
+		t.Error("lookup hit in an empty scaled hierarchy")
+	}
+}

@@ -308,14 +308,14 @@ func (ctx *Context) fillShadowLeaf(gva uint64, level int, guestSize pagetable.Si
 	// If the host backs this guest page at a smaller size, shadow at the
 	// smaller size (paper §V: mixed sizes splinter for the TLB).
 	gpaPage := ge.Addr() | (gva & guestSize.Mask() &^ pagetable.Size4K.Mask())
-	hr, err := ctx.vm.hpt.Lookup(gpaPage)
-	if err != nil {
+	hr, ok := ctx.vm.hpt.TryLookup(gpaPage)
+	if !ok {
 		// Host hole: service it as a host fault, then retry the fill.
 		if err := ctx.vm.HandleHostFault(gpaPage, write); err != nil {
 			return err
 		}
-		hr, err = ctx.vm.hpt.Lookup(gpaPage)
-		if err != nil {
+		if hr, ok = ctx.vm.hpt.TryLookup(gpaPage); !ok {
+			_, err := ctx.vm.hpt.Lookup(gpaPage)
 			return err
 		}
 	}
@@ -327,8 +327,9 @@ func (ctx *Context) fillShadowLeaf(gva uint64, level int, guestSize pagetable.Si
 	}
 	effVA := gva &^ effSize.Mask()
 	effGPA := ge.Addr() | (gva & guestSize.Mask() &^ effSize.Mask())
-	hpa, hostW, err := ctx.vm.TranslateGPA(effGPA)
-	if err != nil {
+	hpa, hostW, ok := ctx.vm.translateGPA(effGPA)
+	if !ok {
+		_, _, err := ctx.vm.TranslateGPA(effGPA)
 		return err
 	}
 
@@ -373,16 +374,16 @@ func (ctx *Context) setGuestLeafFlags(gva uint64, flags pagetable.Entry) {
 // from a genuine guest-level protection fault such as copy-on-write
 // (returned to the guest OS as resolved == false).
 func (ctx *Context) HandleWriteProtect(gva uint64) (resolved bool, err error) {
-	gr, lerr := ctx.gpt.Lookup(gva)
-	if lerr != nil {
+	gr, ok := ctx.gpt.TryLookup(gva)
+	if !ok {
 		return false, nil // stale translation; guest fault path re-maps
 	}
 	if !gr.Entry.Writable() {
 		return false, nil // guest-level protection fault (e.g. guest COW)
 	}
 	gpa := gr.PA
-	_, hostW, terr := ctx.vm.TranslateGPA(gpa)
-	if terr != nil || !hostW {
+	_, hostW, tok := ctx.vm.translateGPA(gpa)
+	if !tok || !hostW {
 		// Host-level refusal: host COW resolution is a VM exit.
 		if err := ctx.vm.HandleHostFault(gpa, true); err != nil {
 			return false, err
@@ -391,7 +392,7 @@ func (ctx *Context) HandleWriteProtect(gva uint64) (resolved bool, err error) {
 		return true, nil
 	}
 	if ctx.spt != nil {
-		if _, serr := ctx.spt.Lookup(gva); serr == nil {
+		if _, ok := ctx.spt.TryLookup(gva); ok {
 			// Shadow-covered page: propagate A/D and grant write.
 			if ctx.vm.cfg.HardwareAD {
 				ctx.vm.stats.HWADUpdates++
@@ -599,7 +600,7 @@ func (ctx *Context) hostPageChanged(gpa uint64) {
 	delete(ctx.rmap, key)
 	for _, gva := range gvas {
 		if ctx.spt != nil {
-			if r, err := ctx.spt.Lookup(gva); err == nil {
+			if r, ok := ctx.spt.TryLookup(gva); ok {
 				_ = ctx.spt.SetEntryAt(gva, r.Level, 0)
 				ctx.vm.stats.ShadowEntriesZapped++
 			}

@@ -192,11 +192,11 @@ func (vm *VM) back(gpa uint64, size pagetable.Size) error {
 	}
 	for off := uint64(0); off < size.Bytes(); off += hps.Bytes() {
 		g := gpa + off
-		if _, err := vm.hpt.Lookup(g); err == nil {
+		if _, ok := vm.hpt.TryLookup(g); ok {
 			continue // already backed (e.g. inside an earlier 2M host page)
 		}
 		base := g &^ hps.Mask()
-		if _, err := vm.hpt.Lookup(base); err == nil {
+		if _, ok := vm.hpt.TryLookup(base); ok {
 			continue
 		}
 		n := int(hps.Bytes() / memsim.FrameSize)
@@ -213,11 +213,22 @@ func (vm *VM) back(gpa uint64, size pagetable.Size) error {
 
 // TranslateGPA software-walks the host page table.
 func (vm *VM) TranslateGPA(gpa uint64) (hpa uint64, writable bool, err error) {
-	r, err := vm.hpt.Lookup(gpa)
-	if err != nil {
+	r, ok := vm.hpt.TryLookup(gpa)
+	if !ok {
+		_, err = vm.hpt.Lookup(gpa) // build the descriptive miss error
 		return 0, false, err
 	}
 	return r.PA, r.Entry.Writable(), nil
+}
+
+// translateGPA is TranslateGPA for hot callers that treat a miss as a
+// boolean condition; it never allocates.
+func (vm *VM) translateGPA(gpa uint64) (hpa uint64, writable, ok bool) {
+	r, ok := vm.hpt.TryLookup(gpa)
+	if !ok {
+		return 0, false, false
+	}
+	return r.PA, r.Entry.Writable(), true
 }
 
 // HandleHostFault services a host page table violation (VM exit). With the
@@ -225,7 +236,7 @@ func (vm *VM) TranslateGPA(gpa uint64) (hpa uint64, writable bool, err error) {
 // guest bugs; it is exercised by the host copy-on-write path.
 func (vm *VM) HandleHostFault(gpa uint64, write bool) error {
 	vm.trap(TrapHostFault)
-	if _, err := vm.hpt.Lookup(gpa); err != nil {
+	if _, ok := vm.hpt.TryLookup(gpa); !ok {
 		return vm.back(gpa&^vm.cfg.HostPageSize.Mask(), vm.cfg.HostPageSize)
 	}
 	if write {

@@ -204,6 +204,10 @@ type Walker struct {
 	ntlb   *ptwc.NestedTLB // optional
 	record bool
 	stats  Stats
+	// scratch is reused across walks so the per-access hot path performs no
+	// heap allocation; walks on one Walker never overlap. Its accesses
+	// buffer only grows while recording is enabled.
+	scratch walkState
 }
 
 // New creates a walker. pwc and ntlb may be nil to model a machine without
@@ -258,7 +262,11 @@ type walkState struct {
 func (w *Walker) finish(st *walkState, r Result) Result {
 	r.Refs = st.refs
 	r.HostRefs = st.hostRefs
-	r.Accesses = st.accesses
+	if w.record {
+		// The scratch buffer is clobbered by the next walk; hand the
+		// caller its own copy. Recording is off on the measurement path.
+		r.Accesses = append([]Access(nil), st.accesses...)
+	}
 	w.stats.Walks++
 	w.stats.Refs += uint64(st.refs)
 	if r.GptrTranslated {
@@ -282,7 +290,10 @@ func (w *Walker) fault(st *walkState, f *Fault) *Fault {
 // the access a store (the hardware then sets dirty bits it is responsible
 // for). On fault the partial reference count is reported in the fault.
 func (w *Walker) Walk(regs Regs, va uint64, write bool) (Result, *Fault) {
-	st := &walkState{}
+	st := &w.scratch
+	st.refs = 0
+	st.hostRefs = 0
+	st.accesses = st.accesses[:0]
 	switch regs.Mode {
 	case ModeNative:
 		return w.nativeWalk(st, regs, va, write)

@@ -15,7 +15,7 @@ import (
 // The VMM package builds these for real; here we build them directly so the
 // walker is tested in isolation.
 type vmFixture struct {
-	t    *testing.T
+	t    testing.TB
 	mem  *memsim.Memory
 	hpt  *pagetable.Table // gPA ⇒ hPA
 	gpt  *pagetable.Table // gVA ⇒ gPA
@@ -63,7 +63,7 @@ func (g *guestSpace) FreeTablePage(pa uint64) error {
 	return g.mem.FreeFrame(f)
 }
 
-func newVM(t *testing.T) *vmFixture {
+func newVM(t testing.TB) *vmFixture {
 	t.Helper()
 	mem := memsim.New(256 << 20)
 	hpt, err := pagetable.New(mem, pagetable.HostSpace{Mem: mem})

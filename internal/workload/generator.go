@@ -53,9 +53,14 @@ type Synthetic struct {
 	accesses int
 	seed     int64
 
-	rng      *rand.Rand
-	pat      *pattern
+	rng *rand.Rand
+	pat *pattern
+	// queue/head form a FIFO: push appends, pop advances head, and the
+	// buffer rewinds to its start whenever it drains. Burst ops (churn,
+	// COW write-through) therefore reuse one steady-state allocation
+	// instead of re-growing a sliding slice on every burst.
 	queue    []Op
+	head     int
 	emitted  int // steady-phase accesses emitted so far
 	curPID   int
 	churnGen map[int]int // churn events so far, per process
@@ -83,6 +88,7 @@ func (g *Synthetic) init() {
 	pages := g.prof.FootprintBytes / g.pageSize.Bytes()
 	g.pat = newPattern(g.prof.Pattern, pages, g.prof.ZipfS, g.rng)
 	g.queue = g.queue[:0]
+	g.head = 0
 	g.emitted = 0
 	g.curPID = 0
 	g.churnGen = make(map[int]int)
@@ -121,14 +127,18 @@ func (g *Synthetic) mainBase(pid int) uint64 { return uint64(pid+1) << 41 }
 func (g *Synthetic) push(ops ...Op) { g.queue = append(g.queue, ops...) }
 
 func (g *Synthetic) pop() Op {
-	op := g.queue[0]
-	g.queue = g.queue[1:]
+	op := g.queue[g.head]
+	g.head++
+	if g.head == len(g.queue) {
+		g.queue = g.queue[:0]
+		g.head = 0
+	}
 	return op
 }
 
 // Next implements Generator.
 func (g *Synthetic) Next() (Op, bool) {
-	if len(g.queue) > 0 {
+	if g.head < len(g.queue) {
 		return g.pop(), true
 	}
 	if g.done || g.emitted >= g.accesses {
