@@ -38,6 +38,9 @@ func main() {
 		ctxCache     = flag.Int("ctx-cache", 0, "entries in the §IV context-switch cache (0 = off)")
 		shsp         = flag.Bool("shsp", false, "use the SHSP prior-work baseline instead of the agile manager (technique must be agile)")
 		jsonOut      = flag.Bool("json", false, "emit the result as JSON")
+		metrics      = flag.String("metrics", "", "write the epoch telemetry series to this file (.csv for CSV, else JSON)")
+		metricsEpoch = flag.Int("metrics-epoch", 2000, "telemetry sampling interval in accesses")
+		walkTrace    = flag.String("walk-trace", "", "write the last page walks as Chrome trace-event JSON to this file")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -91,6 +94,31 @@ func main() {
 			fatal(err)
 		}
 		printComparison(results)
+		return
+	}
+
+	if *metrics != "" || *walkTrace != "" {
+		// Telemetry needs the experiments layer directly: the facade's
+		// Result is an end-of-run aggregate, while the recorder and the
+		// walk-event ring attach to the machine for the measured window.
+		err := runWithTelemetry(telemetryRun{
+			workload:  *workloadName,
+			technique: *technique,
+			pageSize:  *pageSize,
+			accesses:  *accesses,
+			warmup:    *warmup,
+			seed:      *seed,
+			noCaches:  *noCaches,
+			hwAD:      *hwAD,
+			ctxCache:  *ctxCache,
+			shsp:      *shsp,
+			metrics:   *metrics,
+			epochLen:  *metricsEpoch,
+			walkTrace: *walkTrace,
+		})
+		if err != nil {
+			fatal(err)
+		}
 		return
 	}
 

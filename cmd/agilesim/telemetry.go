@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"agilepaging/internal/experiments"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/telemetry"
+	"agilepaging/internal/walker"
+)
+
+// telemetryRun bundles the flag values a -metrics / -walk-trace run uses.
+type telemetryRun struct {
+	workload  string
+	technique string
+	pageSize  string
+	accesses  int
+	warmup    int
+	seed      int64
+	noCaches  bool
+	hwAD      bool
+	ctxCache  int
+	shsp      bool
+	metrics   string
+	epochLen  int
+	walkTrace string
+}
+
+// runWithTelemetry runs one workload with the epoch recorder (and,
+// optionally, the walk-event ring) attached, prints the adaptation table,
+// and writes the requested export files.
+func runWithTelemetry(r telemetryRun) error {
+	mode, err := parseWalkerMode(r.technique)
+	if err != nil {
+		return err
+	}
+	size, err := parsePagetableSize(r.pageSize)
+	if err != nil {
+		return err
+	}
+	o := experiments.DefaultOptions(mode, size)
+	o.Accesses = r.accesses
+	o.Warmup = r.warmup
+	o.Seed = r.seed
+	o.DisablePWC = r.noCaches
+	o.DisableNTLB = r.noCaches
+	o.HardwareAD = r.hwAD
+	o.CtxSwitchCache = r.ctxCache
+	o.UseSHSP = r.shsp
+
+	rec := telemetry.NewRecorder(r.epochLen)
+	o.Metrics = rec
+	var ring *telemetry.EventRing
+	if r.walkTrace != "" {
+		ring = telemetry.NewEventRing(0)
+		o.WalkEvents = ring
+	}
+
+	rep, err := experiments.RunProfile(r.workload, o)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	s := rec.Series()
+	fmt.Print(s.Table())
+
+	if r.metrics != "" {
+		if err := writeSeries(r.metrics, s); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d epochs to %s\n", len(s.Epochs), r.metrics)
+	}
+	if r.walkTrace != "" {
+		if err := writeFile(r.walkTrace, ring.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d walk events to %s (chrome://tracing)\n", len(ring.Events()), r.walkTrace)
+	}
+	return nil
+}
+
+// writeSeries exports the series by extension: .csv selects CSV, anything
+// else the self-describing JSON form.
+func writeSeries(path string, s *telemetry.Series) error {
+	write := s.WriteJSON
+	if strings.HasSuffix(path, ".csv") {
+		write = s.WriteCSV
+	}
+	return writeFile(path, write)
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+// parseWalkerMode/parsePagetableSize mirror the facade-level parsers but
+// produce the internal types the experiments layer takes.
+func parseWalkerMode(s string) (walker.Mode, error) {
+	switch strings.ToLower(s) {
+	case "native", "base", "b":
+		return walker.ModeNative, nil
+	case "nested", "n":
+		return walker.ModeNested, nil
+	case "shadow", "s":
+		return walker.ModeShadow, nil
+	case "agile", "a":
+		return walker.ModeAgile, nil
+	}
+	return 0, fmt.Errorf("unknown technique %q (native|nested|shadow|agile)", s)
+}
+
+func parsePagetableSize(s string) (pagetable.Size, error) {
+	switch strings.ToUpper(s) {
+	case "4K", "4KB":
+		return pagetable.Size4K, nil
+	case "2M", "2MB":
+		return pagetable.Size2M, nil
+	}
+	return 0, fmt.Errorf("unknown page size %q (4K|2M)", s)
+}

@@ -12,6 +12,7 @@
 //	paperbench -figure 5             # Figure 5 sweep + §VII.A headline
 //	paperbench -ablations            # §III-C / §IV design-choice ablations
 //	paperbench -validate canneal     # Table IV model vs direct simulation
+//	paperbench -metrics out.json     # adaptation-curve epoch telemetry
 //	paperbench -all -parallel 8      # same results, 8 simulations at a time
 package main
 
@@ -28,6 +29,7 @@ import (
 
 	"agilepaging/internal/experiments"
 	"agilepaging/internal/sweep"
+	"agilepaging/internal/telemetry"
 )
 
 // options holds the parsed command line. Parsing is separated from main so
@@ -48,6 +50,10 @@ type options struct {
 	progress   bool
 	cpuProfile string
 	memProfile string
+
+	metrics      string
+	metricsEpoch int
+	walkTrace    string
 }
 
 // parseArgs parses the paperbench command line (without the program name).
@@ -73,6 +79,9 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.BoolVar(&o.progress, "progress", false, "print per-simulation progress to stderr")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&o.metrics, "metrics", "", "run the adaptation-curve experiment and write its epoch series to this file (.csv for CSV, else JSON)")
+	fs.IntVar(&o.metricsEpoch, "metrics-epoch", 2000, "telemetry sampling interval in accesses for -metrics")
+	fs.StringVar(&o.walkTrace, "walk-trace", "", "with -metrics: also write the last page walks as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -307,8 +316,52 @@ func main() {
 		})
 	}
 
+	if opts.metrics != "" {
+		run("Adaptation curve (Table I in time)", func() error {
+			var ring *telemetry.EventRing
+			if opts.walkTrace != "" {
+				ring = telemetry.NewEventRing(0)
+			}
+			s, err := experiments.AdaptationCurve(opts.metricsEpoch, 0, ring)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatAdaptation(s))
+			if err := writeSeries(opts.metrics, s); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d epochs to %s\n", len(s.Epochs), opts.metrics)
+			if ring != nil {
+				f, err := os.Create(opts.walkTrace)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := ring.WriteChromeTrace(f); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %d walk events to %s (chrome://tracing)\n", len(ring.Events()), opts.walkTrace)
+			}
+			return nil
+		})
+	}
+
 	if !ran {
-		fmt.Fprintln(os.Stderr, "paperbench: nothing selected; pass -all, -table N, -figure N, -ablations, -shsp, -sensitivity, or -validate W")
+		fmt.Fprintln(os.Stderr, "paperbench: nothing selected; pass -all, -table N, -figure N, -ablations, -shsp, -sensitivity, -validate W, or -metrics FILE")
 		os.Exit(2)
 	}
+}
+
+// writeSeries exports the epoch series by extension: .csv selects CSV,
+// anything else the self-describing JSON form.
+func writeSeries(path string, s *telemetry.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return s.WriteCSV(f)
+	}
+	return s.WriteJSON(f)
 }

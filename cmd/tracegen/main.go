@@ -185,6 +185,8 @@ func printSummary(s trace.MissSummary) error {
 		fmt.Printf("  %-18s %6.2f%%\n", label, 100*s.Fraction(c))
 	}
 	fmt.Printf("avg refs/miss: %.2f\n", s.AvgRefs())
+	fmt.Printf("write misses: %.2f%%  (%d of %d)\n", 100*s.WriteFraction(), s.Writes, s.Total)
+	fmt.Printf("retry records: %.2f%%  (%d write-protect re-walks)\n", 100*s.RetryFraction(), s.Retries)
 	return nil
 }
 

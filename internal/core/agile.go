@@ -139,6 +139,20 @@ func (m *Manager) Stats() Stats { return m.stats }
 // NestedNodes reports how many guest page-table nodes are under nested mode.
 func (m *Manager) NestedNodes() int { return len(m.nested) }
 
+// NestedNodesByLevel splits the nested node count by guest page-table
+// level (0 = root). Nodes whose table page was freed since the switch are
+// skipped; the next interval's bookkeeping drops them. Telemetry samples
+// this at epoch boundaries to show shadow-vs-nested coverage over time.
+func (m *Manager) NestedNodesByLevel() [4]int {
+	var out [4]int
+	for page := range m.nested {
+		if info, ok := m.ctx.GPT().Info(page); ok && info.Level >= 0 && info.Level < len(out) {
+			out[info.Level]++
+		}
+	}
+	return out
+}
+
 // NodeNested implements vmm.ModeOracle.
 func (m *Manager) NodeNested(asid uint16, gptPage uint64) bool {
 	return m.nested[gptPage]

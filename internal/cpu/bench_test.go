@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/telemetry"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
 )
@@ -95,6 +96,21 @@ func TestAccessHitZeroAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("%v TLB-hit access allocates %.1f objects/op, want 0", tech, allocs)
+		}
+
+		// The telemetry layer must not regress the guarantee: with a
+		// recorder and an event ring attached, the per-access work is one
+		// increment and one compare (epoch assembly happens only at
+		// boundaries, kept out of the window like the policy tick).
+		m.SetTelemetry(telemetry.NewRecorder(1 << 30))
+		m.SetWalkEventRing(telemetry.NewEventRing(1024))
+		allocs = testing.AllocsPerRun(200, func() {
+			if err := m.Access(base|0x123, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v TLB-hit access with telemetry allocates %.1f objects/op, want 0", tech, allocs)
 		}
 	}
 }

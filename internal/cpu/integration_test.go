@@ -21,7 +21,7 @@ func TestTranslationOracle(t *testing.T) {
 				cfg := smallConfig(tech, ps)
 				m := newMachine(t, cfg)
 				checked := 0
-				m.SetMissObserver(func(va uint64, res walker.Result) {
+				m.SetMissObserver(func(va uint64, write, retry bool, res walker.Result) {
 					cur := m.OS.Current()
 					if cur == nil {
 						return
@@ -203,7 +203,7 @@ func TestSMPOracleMultithreaded(t *testing.T) {
 	cfg.Cores = 4
 	m := newMachine(t, cfg)
 	checked := 0
-	m.SetMissObserver(func(va uint64, res walker.Result) {
+	m.SetMissObserver(func(va uint64, write, retry bool, res walker.Result) {
 		cur := m.OS.Current()
 		if cur == nil {
 			return

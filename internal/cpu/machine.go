@@ -15,6 +15,7 @@ import (
 	"agilepaging/internal/pagetable"
 	"agilepaging/internal/ptwc"
 	"agilepaging/internal/stats"
+	"agilepaging/internal/telemetry"
 	"agilepaging/internal/tlb"
 	"agilepaging/internal/vmm"
 	"agilepaging/internal/walker"
@@ -119,6 +120,7 @@ type Stats struct {
 
 // coreState is the translation state private to one CPU core.
 type coreState struct {
+	idx    int
 	tlbs   *tlb.Hierarchy
 	pwc    *ptwc.PWC
 	ntlb   *ptwc.NestedTLB
@@ -153,7 +155,13 @@ type Machine struct {
 	clock    uint64
 	stats    Stats
 	refsHist *stats.Hist // completed-walk memory references per TLB miss
-	missObs  func(va uint64, res walker.Result)
+	missObs  func(va uint64, write, retry bool, res walker.Result)
+
+	// Optional telemetry (nil when disabled; see internal/telemetry). tel
+	// costs one branch + one increment per access; walkEvents one array
+	// copy per completed walk. Neither allocates on the access path.
+	tel        *telemetry.Recorder
+	walkEvents *telemetry.EventRing
 
 	// Policy-tick window for TLB-miss-overhead estimation.
 	sinceTickAccesses  uint64
@@ -179,7 +187,7 @@ func New(cfg Config) (*Machine, error) {
 		refsHist: stats.NewHist(25),
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		c := &coreState{tlbs: tlb.NewHierarchy(cfg.TLB.Scaled(cfg.TLBScale))}
+		c := &coreState{idx: i, tlbs: tlb.NewHierarchy(cfg.TLB.Scaled(cfg.TLBScale))}
 		if cfg.EnablePWC {
 			c.pwc = ptwc.New(cfg.PWC)
 		}
@@ -237,7 +245,12 @@ func (m *Machine) SHSPControllers() map[uint16]*core.SHSP { return m.shsp }
 
 // SetMissObserver installs a callback invoked on every completed TLB-miss
 // walk — the analog of the paper's BadgerTrap instrumentation (§VI step 2).
-func (m *Machine) SetMissObserver(fn func(va uint64, res walker.Result)) { m.missObs = fn }
+// write is the access's store bit; retry reports that the same logical
+// access already produced a record (a store re-walks after its
+// write-protection upgrade).
+func (m *Machine) SetMissObserver(fn func(va uint64, write, retry bool, res walker.Result)) {
+	m.missObs = fn
+}
 
 // ResetMeasurement zeroes every statistics counter while leaving all
 // architectural and policy state (TLB contents, shadow tables, mode
@@ -263,6 +276,11 @@ func (m *Machine) ResetMeasurement() {
 	m.lastTickTrapCycles = 0
 	m.lastTickFaults = 0
 	m.refsHist.Reset()
+	if m.tel != nil {
+		// Epochs must never straddle a counter reset: rebase the recorder
+		// so the next epoch diffs against the zeroed counter space.
+		m.tel.Rebase(m.TelemetryCounters())
+	}
 }
 
 // Regs exposes core 0's current hardware register state (for experiments).
@@ -390,6 +408,9 @@ func (m *Machine) accessOn(coreIdx int, va uint64, write, fetch bool) error {
 	// path pays a direct call rather than a deferred one.
 	err := m.translate(c, cur, va, write, fetch)
 	m.policyTick()
+	if m.tel != nil && m.tel.OnAccess() {
+		m.tel.Sample(m.TelemetryCounters())
+	}
 	return err
 }
 
@@ -402,6 +423,11 @@ func (m *Machine) translate(c *coreState, cur *guest.Process, va uint64, write, 
 	}
 	m.charge(&m.stats.IdealCycles, &m.sinceTickIdeal, m.cfg.AccessCycles)
 
+	// logged tracks whether this logical access already produced a miss
+	// record: a store that walks, hits a read-only entry, and re-walks
+	// after the write-protection upgrade logs again, and that second
+	// record is marked as a retry rather than silently duplicated.
+	logged := false
 	for attempt := 0; attempt < 32; attempt++ {
 		if r, ok := c.tlbs.Lookup(c.regs.ASID, va, fetch); ok {
 			if write && !r.Flags.Writable() {
@@ -415,10 +441,24 @@ func (m *Machine) translate(c *coreState, cur *guest.Process, va uint64, write, 
 		m.stats.TLBMisses++
 		res, fault := c.walker.Walk(c.regs, va, write)
 		if fault == nil {
-			m.chargeWalk(res.Refs, res.HostRefs)
+			cycles := m.chargeWalk(res.Refs, res.HostRefs)
 			m.refsHist.Add(res.Refs)
 			if m.missObs != nil {
-				m.missObs(va, res)
+				m.missObs(va, write, logged, res)
+			}
+			logged = true
+			if m.walkEvents != nil {
+				m.walkEvents.Record(telemetry.WalkEvent{
+					Clock:        m.clock,
+					Core:         c.idx,
+					VA:           va,
+					Refs:         res.Refs,
+					HostRefs:     res.HostRefs,
+					NestedLevels: res.NestedLevels,
+					FullNested:   res.GptrTranslated,
+					Write:        write,
+					Cycles:       cycles,
+				})
 			}
 			c.tlbs.Insert(c.regs.ASID, va, res.Size, res.HPA&^res.Size.Mask(), res.Flags, fetch)
 			if write && !res.Flags.Writable() {
@@ -504,10 +544,11 @@ func (m *Machine) charge(total *uint64, window *uint64, cycles uint64) {
 	m.clock += cycles
 }
 
-func (m *Machine) chargeWalk(refs, hostRefs int) {
+func (m *Machine) chargeWalk(refs, hostRefs int) uint64 {
 	m.stats.WalkRefs += uint64(refs)
 	cycles := uint64(refs-hostRefs)*m.cfg.MemRefCycles + uint64(hostRefs)*m.cfg.HostRefCycles
 	m.charge(&m.stats.WalkCycles, &m.sinceTickWalk, cycles)
+	return cycles
 }
 
 // policyTick drives the agile managers with the observed TLB-miss overhead

@@ -416,3 +416,45 @@ func TestInstructionFetchUsesITLB(t *testing.T) {
 		t.Errorf("data access after fetch: L2 hits %d -> %d, want unified-L2 hit", pre.L2Hits, post.L2Hits)
 	}
 }
+
+// TestWriteProtectRetryMarksSecondRecord pins the miss-record semantics of
+// the write-protect retry path: a store that walks, hits a read-only entry,
+// upgrades permission, and re-walks produces TWO records — both carrying
+// the store's write bit — and only the second is marked Retry. Records are
+// deliberately not deduplicated (both walks happened and both are charged),
+// so consumers that want logical misses filter on !Retry.
+func TestWriteProtectRetryMarksSecondRecord(t *testing.T) {
+	m := newMachine(t, smallConfig(walker.ModeNative, pagetable.Size4K))
+	base := uint64(0x4000_0000)
+	mustRun(t, m, setupOps(base, 4<<12, pagetable.Size4K))
+	mustRun(t, m, []workload.Op{{Kind: workload.OpMarkCOW, PID: 0, VA: base}})
+	type rec struct {
+		va           uint64
+		write, retry bool
+	}
+	var recs []rec
+	m.SetMissObserver(func(va uint64, write, retry bool, res walker.Result) {
+		recs = append(recs, rec{va, write, retry})
+	})
+	// One store to the COW page: cold walk finds the read-only entry, the
+	// COW break upgrades it, and the re-walk logs the retry record.
+	mustRun(t, m, []workload.Op{{Kind: workload.OpAccess, PID: 0, VA: base, Write: true}})
+	if len(recs) != 2 {
+		t.Fatalf("records = %+v, want exactly 2 (no dedup, no extras)", recs)
+	}
+	if !recs[0].write || recs[0].retry {
+		t.Errorf("first record = %+v, want write-flagged non-retry", recs[0])
+	}
+	if !recs[1].write || !recs[1].retry {
+		t.Errorf("second record = %+v, want write-flagged retry", recs[1])
+	}
+	if recs[0].va != base || recs[1].va != base {
+		t.Errorf("record VAs = %+v", recs)
+	}
+	// A plain read miss elsewhere logs a single non-retry, non-write record.
+	recs = recs[:0]
+	mustRun(t, m, []workload.Op{{Kind: workload.OpAccess, PID: 0, VA: base + 0x2000}})
+	if len(recs) != 1 || recs[0].write || recs[0].retry {
+		t.Errorf("read-miss records = %+v, want one clean record", recs)
+	}
+}

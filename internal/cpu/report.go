@@ -113,8 +113,10 @@ func (m *Machine) Report(workloadName string) Report {
 		}
 		for i := range ws.ByNestedLevels {
 			r.Walker.ByNestedLevels[i] += ws.ByNestedLevels[i]
+			r.Walker.RefsByNestedLevels[i] += ws.RefsByNestedLevels[i]
 		}
 		r.Walker.FullNested += ws.FullNested
+		r.Walker.FullNestedRefs += ws.FullNestedRefs
 	}
 	r.IdealCycles = m.stats.IdealCycles
 	r.WalkCycles = m.stats.WalkCycles

@@ -249,11 +249,14 @@ func ValidateModelSweep(ctx context.Context, cfg sweep.Config, name string, acce
 		}
 	}
 	avoided := trace.AvoidedCycles(&shadowTraps, &agileTraps, vmm.DefaultCostModel())
-	proj := perfmodel.ProjectAgile(
+	proj, err := perfmodel.ProjectAgile(
 		toMeasured(nestedRep), toMeasured(shadowRep), ideal,
 		agileMiss.Summary().NestedFractions(),
 		nativeRep.Machine.TLBMisses, avoided,
 	)
+	if err != nil {
+		return ModelValidation{}, fmt.Errorf("experiments: %s projection: %w", name, err)
+	}
 	return ModelValidation{
 		Workload:        name,
 		DirectWalkOv:    agileRep.WalkOverhead(),

@@ -9,6 +9,7 @@ import (
 	"agilepaging/internal/core"
 	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/telemetry"
 	"agilepaging/internal/trace"
 	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
@@ -45,9 +46,23 @@ type Options struct {
 	RevertPolicy   core.RevertPolicy // used when Technique is agile
 	TLBScale       int               // 0 = default
 
+	// AgileWriteThreshold overrides the Shadow⇒Nested write threshold
+	// (0 = paper default of 2). The adaptation-curve experiment raises it
+	// to stretch the learning window over several epochs so the sampled
+	// series shows the mediated⇒direct transition.
+	AgileWriteThreshold int
+
 	// Optional instrumentation.
 	MissLog *trace.MissLog
 	TrapLog *trace.TrapLog
+
+	// Metrics attaches an epoch-based telemetry recorder; like the logs it
+	// attaches at the start of the measured window (after warmup) and its
+	// final partial epoch is flushed when the run ends. WalkEvents attaches
+	// a bounded per-walk event ring for Chrome-trace export. Neither
+	// perturbs simulated results (see TestTelemetryPurity).
+	Metrics    *telemetry.Recorder
+	WalkEvents *telemetry.EventRing
 }
 
 // DefaultOptions returns the baseline run options for a technique and page
@@ -83,6 +98,9 @@ func machineConfig(o Options) cpu.Config {
 	cfg.HardwareAD = o.HardwareAD
 	cfg.CtxSwitchCache = o.CtxSwitchCache
 	cfg.Agile.Revert = o.RevertPolicy
+	if o.AgileWriteThreshold > 0 {
+		cfg.Agile.WriteThreshold = o.AgileWriteThreshold
+	}
 	if o.UseSHSP {
 		cfg.UseSHSP = true
 		cfg.SHSP = core.DefaultSHSP()
@@ -139,6 +157,7 @@ func RunProfile(name string, o Options) (cpu.Report, error) {
 			}
 		}
 	}
+	m.FlushTelemetry()
 	return m.Report(name), nil
 }
 
@@ -152,6 +171,7 @@ func RunOps(name string, ops []workload.Op, o Options) (cpu.Report, *cpu.Machine
 	if err := m.Run(workload.NewFromOps(name, ops)); err != nil {
 		return cpu.Report{}, nil, err
 	}
+	m.FlushTelemetry()
 	return m.Report(name), m, nil
 }
 
@@ -161,6 +181,12 @@ func attachLogs(m *cpu.Machine, o Options) {
 	}
 	if o.TrapLog != nil && m.VM != nil {
 		m.VM.SetTrapObserver(o.TrapLog.Observer())
+	}
+	if o.Metrics != nil {
+		m.SetTelemetry(o.Metrics)
+	}
+	if o.WalkEvents != nil {
+		m.SetWalkEventRing(o.WalkEvents)
 	}
 }
 

@@ -13,6 +13,15 @@
 // lets us validate the paper's methodology against direct simulation.
 package perfmodel
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrZeroIdeal reports an overhead computation against zero ideal cycles —
+// a malformed Measured that would otherwise masquerade as 0% overhead.
+var ErrZeroIdeal = errors.New("perfmodel: zero ideal cycles")
+
 // Measured holds the performance-counter values of one run, as the paper
 // collects with Linux perf (§VI): total execution cycles E, cycles spent on
 // TLB misses T, number of TLB misses M, and cycles spent in the hypervisor
@@ -25,12 +34,16 @@ type Measured struct {
 }
 
 // Ideal computes E_ideal = E − T from a base-native run (Table IV row 1;
-// the paper uses the native 2M configuration).
-func Ideal(native Measured) uint64 {
+// the paper uses the native 2M configuration). A run reporting more
+// TLB-miss cycles than execution cycles is malformed — silently clamping
+// it to 0 used to let every downstream overhead read as a plausible 0%,
+// so it is an error instead.
+func Ideal(native Measured) (uint64, error) {
 	if native.TLBMissCycles > native.ExecCycles {
-		return 0
+		return 0, fmt.Errorf("perfmodel: TLB-miss cycles %d exceed execution cycles %d",
+			native.TLBMissCycles, native.ExecCycles)
 	}
-	return native.ExecCycles - native.TLBMissCycles
+	return native.ExecCycles - native.TLBMissCycles, nil
 }
 
 // Overheads is the two-component decomposition Figure 5 plots.
@@ -42,10 +55,12 @@ type Overheads struct {
 // Total is the combined overhead.
 func (o Overheads) Total() float64 { return o.PageWalk + o.VMM }
 
-// Compute applies Table IV rows 2-3 to a measured run.
-func Compute(m Measured, ideal uint64) Overheads {
+// Compute applies Table IV rows 2-3 to a measured run. A zero ideal would
+// divide away into zero Overheads, hiding the malformed input, so it
+// returns ErrZeroIdeal instead.
+func Compute(m Measured, ideal uint64) (Overheads, error) {
 	if ideal == 0 {
-		return Overheads{}
+		return Overheads{}, ErrZeroIdeal
 	}
 	var pw float64
 	if m.ExecCycles > ideal+m.HypervisorCycles {
@@ -54,7 +69,7 @@ func Compute(m Measured, ideal uint64) Overheads {
 	return Overheads{
 		PageWalk: pw,
 		VMM:      float64(m.HypervisorCycles) / float64(ideal),
-	}
+	}, nil
 }
 
 // CyclesPerMiss is Table IV row 4: C = T / M.
@@ -113,12 +128,15 @@ func ProjectVMMOverhead(shadowVMM float64, avoidedCycles, ideal uint64) float64 
 }
 
 // ProjectAgile combines rows 5 and 6 into the full agile projection.
-func ProjectAgile(nested, shadow Measured, ideal uint64, f NestedFractions, baseMisses, avoidedTrapCycles uint64) Overheads {
+func ProjectAgile(nested, shadow Measured, ideal uint64, f NestedFractions, baseMisses, avoidedTrapCycles uint64) (Overheads, error) {
 	cN := CyclesPerMiss(nested)
 	cS := CyclesPerMiss(shadow)
-	sOv := Compute(shadow, ideal)
+	sOv, err := Compute(shadow, ideal)
+	if err != nil {
+		return Overheads{}, err
+	}
 	return Overheads{
 		PageWalk: ProjectWalkOverhead(cN, cS, f, baseMisses, ideal),
 		VMM:      ProjectVMMOverhead(sOv.VMM, avoidedTrapCycles, ideal),
-	}
+	}, nil
 }

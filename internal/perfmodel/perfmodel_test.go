@@ -1,6 +1,7 @@
 package perfmodel
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -9,18 +10,27 @@ import (
 func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
 func TestIdeal(t *testing.T) {
-	if got := Ideal(Measured{ExecCycles: 1000, TLBMissCycles: 200}); got != 800 {
-		t.Errorf("Ideal = %d", got)
+	got, err := Ideal(Measured{ExecCycles: 1000, TLBMissCycles: 200})
+	if err != nil || got != 800 {
+		t.Errorf("Ideal = %d, %v", got, err)
 	}
-	// Degenerate input never underflows.
-	if got := Ideal(Measured{ExecCycles: 100, TLBMissCycles: 200}); got != 0 {
-		t.Errorf("Ideal degenerate = %d", got)
+	// A run claiming more TLB-miss cycles than execution cycles is
+	// malformed and must be reported, not clamped to a plausible 0.
+	if _, err := Ideal(Measured{ExecCycles: 100, TLBMissCycles: 200}); err == nil {
+		t.Error("degenerate Measured accepted")
+	}
+	// The T == E boundary is valid (ideal 0 is then a true measurement).
+	if got, err := Ideal(Measured{ExecCycles: 200, TLBMissCycles: 200}); err != nil || got != 0 {
+		t.Errorf("boundary Ideal = %d, %v", got, err)
 	}
 }
 
 func TestComputeOverheads(t *testing.T) {
 	m := Measured{ExecCycles: 1500, TLBMissCycles: 300, HypervisorCycles: 200}
-	o := Compute(m, 1000)
+	o, err := Compute(m, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !almostEqual(o.PageWalk, 0.3) {
 		t.Errorf("PageWalk = %v", o.PageWalk)
 	}
@@ -30,13 +40,22 @@ func TestComputeOverheads(t *testing.T) {
 	if !almostEqual(o.Total(), 0.5) {
 		t.Errorf("Total = %v", o.Total())
 	}
-	if Compute(m, 0) != (Overheads{}) {
-		t.Error("zero ideal should yield zero overheads")
+	// Zero ideal used to silently produce zero Overheads — a plausible
+	// "0% overhead" from malformed input. It must error now.
+	if _, err := Compute(m, 0); !errors.Is(err, ErrZeroIdeal) {
+		t.Errorf("Compute with zero ideal: err = %v, want ErrZeroIdeal", err)
 	}
-	// Hypervisor cycles exceeding the gap clamp page-walk overhead at 0.
-	o = Compute(Measured{ExecCycles: 1100, HypervisorCycles: 200}, 1000)
+	// Hypervisor cycles exceeding the gap clamp page-walk overhead at 0
+	// (this clamp is legitimate: rounding can push H past E − E_ideal).
+	o, err = Compute(Measured{ExecCycles: 1100, HypervisorCycles: 200}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.PageWalk != 0 {
 		t.Errorf("clamped PageWalk = %v", o.PageWalk)
+	}
+	if !almostEqual(o.VMM, 0.2) {
+		t.Errorf("clamped-branch VMM = %v", o.VMM)
 	}
 }
 
@@ -114,16 +133,29 @@ func TestProjectAgileCombines(t *testing.T) {
 	ideal := uint64(1_000_000)
 	// 90% of misses full shadow, 10% switch at the leaf.
 	f := NestedFractions{0, 0, 0, 0, 0.1}
-	o := ProjectAgile(nested, shadow, ideal, f, 1000, 400_000)
-	sOv := Compute(shadow, ideal)
+	o, err := ProjectAgile(nested, shadow, ideal, f, 1000, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOv, err := Compute(shadow, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.VMM >= sOv.VMM {
 		t.Errorf("agile VMM %v should beat shadow %v", o.VMM, sOv.VMM)
 	}
-	nOv := Compute(nested, ideal)
+	nOv, err := Compute(nested, ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.PageWalk >= nOv.PageWalk {
 		t.Errorf("agile walk %v should beat nested %v", o.PageWalk, nOv.PageWalk)
 	}
 	if o.Total() <= 0 {
 		t.Error("empty projection")
+	}
+	// The zero-ideal error propagates through the combined projection.
+	if _, err := ProjectAgile(nested, shadow, 0, f, 1000, 400_000); !errors.Is(err, ErrZeroIdeal) {
+		t.Errorf("ProjectAgile with zero ideal: err = %v, want ErrZeroIdeal", err)
 	}
 }

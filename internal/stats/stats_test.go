@@ -183,3 +183,70 @@ func TestPercentiles(t *testing.T) {
 		t.Error("empty percentiles")
 	}
 }
+
+// TestHistPercentileOverflowCrossing: once the cumulative in-range counts
+// fall short of the target rank, Percentile must report the bucket limit —
+// not the last in-range value — so overflow-heavy distributions (e.g.
+// pathological refs-per-walk tails) are not silently understated.
+func TestHistPercentileOverflowCrossing(t *testing.T) {
+	h := NewHist(4)
+	for i := 0; i < 60; i++ {
+		h.Add(2)
+	}
+	for i := 0; i < 40; i++ {
+		h.Add(7) // overflow: >= limit 4
+	}
+	if p := h.Percentile(0.6); p != 2 {
+		t.Errorf("p60 = %d, want in-range 2", p)
+	}
+	// p61 crosses into the overflow mass.
+	if p := h.Percentile(0.61); p != 4 {
+		t.Errorf("p61 = %d, want bucket limit 4", p)
+	}
+	// Out-of-range p clamps to [0, 1].
+	if p := h.Percentile(-0.5); p != 2 {
+		t.Errorf("clamped p<0 = %d", p)
+	}
+	if p := h.Percentile(2.0); p != 4 {
+		t.Errorf("clamped p>1 = %d", p)
+	}
+	// All-overflow histogram: every percentile is the limit.
+	all := NewHist(3)
+	all.Add(50)
+	if p := all.Percentile(0.01); p != 3 {
+		t.Errorf("all-overflow p1 = %d", p)
+	}
+}
+
+// TestHistMergeOverflowAndMaxPropagation: Merge must combine the overflow
+// mass of both histograms and keep the larger max, whichever side holds it,
+// and the merged mean must reflect the true combined sum.
+func TestHistMergeOverflowAndMaxPropagation(t *testing.T) {
+	a, b := NewHist(4), NewHist(4)
+	a.Add(10) // a overflow, a.max = 10
+	a.Add(1)
+	b.Add(6) // b overflow, smaller max
+	b.Add(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Overflow() != 2 {
+		t.Errorf("merged overflow = %d, want 2", a.Overflow())
+	}
+	if a.Max() != 10 {
+		t.Errorf("merged max = %d, want receiver's 10 retained", a.Max())
+	}
+	if a.Mean() != (10+1+6+2)/4.0 {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+	// The other direction: the argument's larger max wins.
+	c, d := NewHist(4), NewHist(4)
+	c.Add(5)
+	d.Add(20)
+	if err := c.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if c.Max() != 20 || c.Overflow() != 2 {
+		t.Errorf("merged max/overflow = %d/%d, want 20/2", c.Max(), c.Overflow())
+	}
+}

@@ -38,6 +38,13 @@ func FuzzLoadMissLog(f *testing.F) {
 	l := &MissLog{Records: []MissRecord{{VA: 0x1000, Refs: 4}}}
 	_ = l.Save(&seed)
 	f.Add(seed.Bytes())
+	// A record exercising every flag bit (full-nested | write | retry).
+	var flagged bytes.Buffer
+	fl := &MissLog{Records: []MissRecord{
+		{VA: 0x2000, Refs: 24, NestedLevels: 4, GptrTranslated: true, Write: true, Retry: true},
+	}}
+	_ = fl.Save(&flagged)
+	f.Add(flagged.Bytes())
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, err := LoadMissLog(bytes.NewReader(data))

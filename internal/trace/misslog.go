@@ -18,6 +18,12 @@ type MissRecord struct {
 	NestedLevels   uint8 // 0 = full shadow, 1..4 = trailing nested levels
 	GptrTranslated bool  // full nested walk (paid the gptr translation)
 	Write          bool
+	// Retry marks a re-walk of the same logical access: a store that missed
+	// and then hit a read-only entry re-walks after the write-protection
+	// upgrade, so one access can log twice. The retry record is kept (it is
+	// a real walk the hardware performed, and Table VI counts it) but
+	// marked, so consumers can separate logical accesses from walks.
+	Retry bool
 }
 
 // MissLog accumulates TLB-miss records.
@@ -26,13 +32,17 @@ type MissLog struct {
 }
 
 // Observer returns a cpu.Machine miss-observer that appends to the log.
-func (l *MissLog) Observer() func(va uint64, res walker.Result) {
-	return func(va uint64, res walker.Result) {
+// write is the access's store bit; retry marks a repeated walk of the same
+// logical access (see MissRecord.Retry).
+func (l *MissLog) Observer() func(va uint64, write, retry bool, res walker.Result) {
+	return func(va uint64, write, retry bool, res walker.Result) {
 		l.Records = append(l.Records, MissRecord{
 			VA:             va,
 			Refs:           uint16(res.Refs),
 			NestedLevels:   uint8(res.NestedLevels),
 			GptrTranslated: res.GptrTranslated,
+			Write:          write,
+			Retry:          retry,
 		})
 	}
 }
@@ -44,6 +54,11 @@ type MissSummary struct {
 	// levels (the paper's L4..L1 columns), [5] = full nested.
 	ByClass [6]uint64
 	SumRefs uint64
+	// Writes and Retries count the records carrying those flags; they ride
+	// alongside the Table VI classes (which count every walk, retries
+	// included, as the paper's BadgerTrap step does).
+	Writes  uint64
+	Retries uint64
 }
 
 // Fraction returns ByClass[c] / Total.
@@ -52,6 +67,23 @@ func (s MissSummary) Fraction(c int) float64 {
 		return 0
 	}
 	return float64(s.ByClass[c]) / float64(s.Total)
+}
+
+// WriteFraction returns the share of misses caused by stores.
+func (s MissSummary) WriteFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Total)
+}
+
+// RetryFraction returns the share of records that are write-upgrade
+// re-walks of an already-logged access.
+func (s MissSummary) RetryFraction() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Retries) / float64(s.Total)
 }
 
 // AvgRefs is the average memory accesses per miss (Table VI last column).
@@ -84,6 +116,12 @@ func (l *MissLog) Summary() MissSummary {
 	for _, r := range l.Records {
 		s.Total++
 		s.SumRefs += uint64(r.Refs)
+		if r.Write {
+			s.Writes++
+		}
+		if r.Retry {
+			s.Retries++
+		}
 		switch {
 		case r.GptrTranslated:
 			s.ByClass[5]++
@@ -117,6 +155,9 @@ func (l *MissLog) Save(w io.Writer) error {
 		if r.Write {
 			flags |= 2
 		}
+		if r.Retry {
+			flags |= 4
+		}
 		rec := missRecord{VA: r.VA, Refs: r.Refs, Nested: r.NestedLevels, Flags: flags}
 		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
 			return err
@@ -147,7 +188,15 @@ func LoadMissLog(r io.Reader) (*MissLog, error) {
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
-	l := &MissLog{Records: make([]MissRecord, 0, n)}
+	// The count is untrusted input: cap the pre-allocation and let append
+	// grow the slice as records actually decode, so a forged header cannot
+	// allocate unbounded memory (a truncated stream fails at the first
+	// missing record instead).
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	l := &MissLog{Records: make([]MissRecord, 0, capHint)}
 	for i := uint64(0); i < n; i++ {
 		var rec missRecord
 		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
@@ -156,6 +205,7 @@ func LoadMissLog(r io.Reader) (*MissLog, error) {
 		l.Records = append(l.Records, MissRecord{
 			VA: rec.VA, Refs: rec.Refs, NestedLevels: rec.Nested,
 			GptrTranslated: rec.Flags&1 != 0, Write: rec.Flags&2 != 0,
+			Retry: rec.Flags&4 != 0,
 		})
 	}
 	return l, nil

@@ -89,7 +89,13 @@ func ReadOps(r io.Reader) ([]workload.Op, error) {
 	if n > maxOps {
 		return nil, fmt.Errorf("%w: unreasonable op count %d", ErrBadFormat, n)
 	}
-	ops := make([]workload.Op, 0, n)
+	// Cap the pre-allocation: the count is untrusted, so grow incrementally
+	// and let a truncated stream fail at the first missing record.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	ops := make([]workload.Op, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		var rec opRecord
 		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {

@@ -45,13 +45,27 @@ func TestOpsBadMagic(t *testing.T) {
 func TestMissLogObserverAndSummary(t *testing.T) {
 	var l MissLog
 	obs := l.Observer()
-	obs(0x1000, walker.Result{Refs: 4, NestedLevels: 0})
-	obs(0x2000, walker.Result{Refs: 8, NestedLevels: 1})
-	obs(0x3000, walker.Result{Refs: 20, NestedLevels: 4})
-	obs(0x4000, walker.Result{Refs: 24, NestedLevels: 4, GptrTranslated: true})
+	obs(0x1000, false, false, walker.Result{Refs: 4, NestedLevels: 0})
+	obs(0x2000, true, false, walker.Result{Refs: 8, NestedLevels: 1})
+	obs(0x3000, false, false, walker.Result{Refs: 20, NestedLevels: 4})
+	obs(0x4000, true, true, walker.Result{Refs: 24, NestedLevels: 4, GptrTranslated: true})
 	s := l.Summary()
 	if s.Total != 4 {
 		t.Fatalf("total = %d", s.Total)
+	}
+	// The observer must carry the access's write bit into the records (it
+	// was silently dropped before) and the retry marker alongside it.
+	if s.Writes != 2 || s.Retries != 1 {
+		t.Errorf("writes/retries = %d/%d, want 2/1", s.Writes, s.Retries)
+	}
+	if s.WriteFraction() != 0.5 || s.RetryFraction() != 0.25 {
+		t.Errorf("write/retry fractions = %v/%v", s.WriteFraction(), s.RetryFraction())
+	}
+	if !l.Records[1].Write || l.Records[1].Retry {
+		t.Errorf("record 1 = %+v, want write-only", l.Records[1])
+	}
+	if !l.Records[3].Write || !l.Records[3].Retry {
+		t.Errorf("record 3 = %+v, want write+retry", l.Records[3])
 	}
 	if s.ByClass[0] != 1 || s.ByClass[1] != 1 || s.ByClass[4] != 1 || s.ByClass[5] != 1 {
 		t.Errorf("classes = %v", s.ByClass)
@@ -76,6 +90,7 @@ func TestMissLogRoundTrip(t *testing.T) {
 		{VA: 0x7f0000001000, Refs: 4},
 		{VA: 0x2000, Refs: 8, NestedLevels: 1, Write: true},
 		{VA: 0x3000, Refs: 24, NestedLevels: 4, GptrTranslated: true},
+		{VA: 0x4000, Refs: 9, NestedLevels: 2, Write: true, Retry: true},
 	}}
 	var buf bytes.Buffer
 	if err := l.Save(&buf); err != nil {
@@ -85,7 +100,7 @@ func TestMissLogRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Records) != 3 {
+	if len(got.Records) != 4 {
 		t.Fatalf("records = %d", len(got.Records))
 	}
 	for i := range l.Records {

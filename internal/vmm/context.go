@@ -148,6 +148,19 @@ func (ctx *Context) Unprotect(gptPage uint64) { delete(ctx.protected, gptPage) }
 // ProtectedPages returns the number of write-protected guest table pages.
 func (ctx *Context) ProtectedPages() int { return len(ctx.protected) }
 
+// ProtectedPagesByLevel splits the write-protected guest table pages by
+// page-table level (0 = root) — the shadow-covered complement of the agile
+// manager's nested coverage. Telemetry samples it at epoch boundaries.
+func (ctx *Context) ProtectedPagesByLevel() [4]int {
+	var out [4]int
+	for page := range ctx.protected {
+		if info, ok := ctx.gpt.Info(page); ok && info.Level >= 0 && info.Level < len(out) {
+			out[info.Level]++
+		}
+	}
+	return out
+}
+
 // Regs assembles the hardware register state for this context.
 func (ctx *Context) Regs() walker.Regs {
 	regs := walker.Regs{

@@ -410,6 +410,15 @@ func (vm *VM) Context(asid uint16) (*Context, bool) {
 	return ctx, ok
 }
 
+// EachContext calls fn for every registered guest-process context, in
+// unspecified order. Telemetry uses it to aggregate per-context gauges
+// (order-independent sums) without exposing the context map.
+func (vm *VM) EachContext(fn func(*Context)) {
+	for _, ctx := range vm.ctxs {
+		fn(ctx)
+	}
+}
+
 func (vm *VM) ctxCacheHit(gptRoot uint64) bool {
 	for i, g := range vm.ctxCache {
 		if g == gptRoot {

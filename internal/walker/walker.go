@@ -195,6 +195,12 @@ type Stats struct {
 	// gptr. Together these are the paper's Table VI classification.
 	ByNestedLevels [5]uint64
 	FullNested     uint64
+
+	// RefsByNestedLevels and FullNestedRefs split the reference volume the
+	// same way, so telemetry epochs can decompose refs/walk by switch
+	// depth without per-walk callbacks.
+	RefsByNestedLevels [5]uint64
+	FullNestedRefs     uint64
 }
 
 // Walker executes hardware page walks against simulated physical memory.
@@ -271,9 +277,11 @@ func (w *Walker) finish(st *walkState, r Result) Result {
 	w.stats.Refs += uint64(st.refs)
 	if r.GptrTranslated {
 		w.stats.FullNested++
+		w.stats.FullNestedRefs += uint64(st.refs)
 	}
 	if r.NestedLevels >= 0 && r.NestedLevels <= 4 {
 		w.stats.ByNestedLevels[r.NestedLevels]++
+		w.stats.RefsByNestedLevels[r.NestedLevels] += uint64(st.refs)
 	}
 	return r
 }
