@@ -33,8 +33,10 @@ bench-micro:
 		./internal/memsim ./internal/walker ./internal/tlb ./internal/cpu
 
 # bench-compare diffs the current tree's microbenchmarks against the
-# baseline recorded in BENCH_PR2.json. Uses benchstat when installed;
-# otherwise prints both result sets for eyeball comparison.
+# baseline recorded in BENCH_PR4.json (BENCH_PR2.json stays in the tree as
+# history; replay it with `go run ./cmd/benchbaseline -file BENCH_PR2.json`).
+# Uses benchstat when installed; otherwise prints both result sets for
+# eyeball comparison.
 bench-compare:
 	@$(GO) run ./cmd/benchbaseline > /tmp/bench_baseline.txt
 	@$(GO) test -bench . -run '^$$' -count 5 \
@@ -43,7 +45,7 @@ bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat /tmp/bench_baseline.txt /tmp/bench_current.txt; \
 	else \
-		echo "benchstat not installed; baseline (BENCH_PR2.json) vs current:"; \
+		echo "benchstat not installed; baseline (BENCH_PR4.json) vs current:"; \
 		echo "--- baseline ---"; grep -E '^Benchmark' /tmp/bench_baseline.txt; \
 		echo "--- current ---"; grep -E '^Benchmark' /tmp/bench_current.txt; \
 	fi

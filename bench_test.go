@@ -130,6 +130,23 @@ func benchFigure5Sweep(b *testing.B, workers int) {
 	}
 }
 
+// BenchmarkCompareSweep times a serial multi-technique comparison of one
+// workload — both page sizes under all four techniques, the shape of the
+// Compare/RunAll facade. All eight simulations replay the same two
+// (page-size) op streams, so this benchmark isolates the benefit of
+// op-stream sharing across techniques.
+func BenchmarkCompareSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5Sweep(context.Background(), sweep.Config{Workers: 1}, []string{"dedup"}, benchAccesses, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 8 {
+			b.Fatalf("rows = %d, want 8", len(res.Rows))
+		}
+	}
+}
+
 // BenchmarkHeadline reports the §VII.A headline numbers derived from the
 // Figure 5 sweep: agile's geometric-mean improvement over the best
 // constituent and its slowdown versus native.

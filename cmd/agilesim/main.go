@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"agilepaging"
+	"agilepaging/internal/workload"
 )
 
 func main() {
@@ -43,8 +44,15 @@ func main() {
 		walkTrace    = flag.String("walk-trace", "", "write the last page walks as Chrome trace-event JSON to this file")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		streamCache  = flag.Int64("stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
 	)
 	flag.Parse()
+
+	if *streamCache < 0 {
+		workload.SetStreamCacheBudget(-1)
+	} else {
+		workload.SetStreamCacheBudget(*streamCache << 20)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(agilepaging.Workloads(), "\n"))

@@ -1,5 +1,5 @@
 // Command benchbaseline replays the benchmark results recorded in
-// BENCH_PR2.json as standard Go benchmark output, so the committed baseline
+// BENCH_PR4.json as standard Go benchmark output, so the committed baseline
 // can be fed straight to benchstat:
 //
 //	go run ./cmd/benchbaseline > old.txt
@@ -8,7 +8,8 @@
 //
 // By default it emits the "after" lines (the baseline the current tree is
 // expected to match); -which before emits the pre-optimization numbers that
-// motivated PR 2.
+// motivated the recording. Earlier baselines stay in the tree as history
+// (-file BENCH_PR2.json replays the PR 2 numbers).
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 	"path/filepath"
 )
 
-// Baseline is the schema of BENCH_PR2.json.
+// Baseline is the schema of the BENCH_PR*.json files.
 type Baseline struct {
 	Recorded string `json:"recorded"` // ISO date the numbers were captured
 	Goos     string `json:"goos"`
@@ -34,7 +35,7 @@ type Baseline struct {
 
 func main() {
 	var (
-		path  = flag.String("file", "BENCH_PR2.json", "baseline file to replay")
+		path  = flag.String("file", "BENCH_PR4.json", "baseline file to replay")
 		which = flag.String("which", "after", "which recording to emit: before | after")
 	)
 	flag.Parse()
@@ -42,7 +43,7 @@ func main() {
 	f := *path
 	if _, err := os.Stat(f); os.IsNotExist(err) {
 		// Allow running from anywhere inside the repo.
-		if root, rerr := findUp("BENCH_PR2.json"); rerr == nil {
+		if root, rerr := findUp(filepath.Base(f)); rerr == nil {
 			f = root
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"agilepaging/internal/experiments"
 	"agilepaging/internal/sweep"
 	"agilepaging/internal/telemetry"
+	"agilepaging/internal/workload"
 )
 
 // options holds the parsed command line. Parsing is separated from main so
@@ -54,6 +55,8 @@ type options struct {
 	metrics      string
 	metricsEpoch int
 	walkTrace    string
+
+	streamCacheMB int64
 }
 
 // parseArgs parses the paperbench command line (without the program name).
@@ -82,6 +85,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.metrics, "metrics", "", "run the adaptation-curve experiment and write its epoch series to this file (.csv for CSV, else JSON)")
 	fs.IntVar(&o.metricsEpoch, "metrics-epoch", 2000, "telemetry sampling interval in accesses for -metrics")
 	fs.StringVar(&o.walkTrace, "walk-trace", "", "with -metrics: also write the last page walks as Chrome trace-event JSON to this file")
+	fs.Int64Var(&o.streamCacheMB, "stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -153,6 +157,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(2)
 	}
+
+	applyStreamCacheBudget(opts.streamCacheMB)
 
 	stopProfiles, err := startProfiles(opts.cpuProfile, opts.memProfile)
 	if err != nil {
@@ -350,6 +356,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paperbench: nothing selected; pass -all, -table N, -figure N, -ablations, -shsp, -sensitivity, -validate W, or -metrics FILE")
 		os.Exit(2)
 	}
+}
+
+// applyStreamCacheBudget translates the -stream-cache MiB flag into the
+// workload package's byte budget (negative passes through as unbounded).
+func applyStreamCacheBudget(mib int64) {
+	if mib < 0 {
+		workload.SetStreamCacheBudget(-1)
+		return
+	}
+	workload.SetStreamCacheBudget(mib << 20)
 }
 
 // writeSeries exports the epoch series by extension: .csv selects CSV,

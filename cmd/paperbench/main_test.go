@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"agilepaging/internal/pagetable"
 	"agilepaging/internal/sweep"
+	"agilepaging/internal/workload"
 )
 
 func TestParseArgsDefaults(t *testing.T) {
@@ -91,5 +93,37 @@ func TestSweepConfigProgressWiring(t *testing.T) {
 	cfg2.OnProgress(sweep.Progress{Done: 3, Total: 64, Key: "dedup/4K/agile", Elapsed: 1500 * time.Millisecond})
 	if got := out.String(); !strings.Contains(got, "[3/64]") || !strings.Contains(got, "dedup/4K/agile") {
 		t.Errorf("progress line = %q", got)
+	}
+}
+
+func TestParseArgsStreamCache(t *testing.T) {
+	var errBuf bytes.Buffer
+	o, err := parseArgs(nil, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(workload.DefaultStreamCacheBytes >> 20); o.streamCacheMB != want {
+		t.Errorf("default stream-cache = %d MiB, want %d", o.streamCacheMB, want)
+	}
+	o, err = parseArgs([]string{"-all", "-stream-cache", "0"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.streamCacheMB != 0 {
+		t.Errorf("stream-cache = %d, want 0", o.streamCacheMB)
+	}
+
+	// The budget must round-trip into the workload package: 0 disables
+	// sharing, positive budgets enable it.
+	defer workload.SetStreamCacheBudget(workload.DefaultStreamCacheBytes)
+	defer workload.ResetStreamCache()
+	prof, _ := workload.ProfileByName("dedup")
+	applyStreamCacheBudget(0)
+	if workload.SharedStream(prof, pagetable.Size4K, 50, 1) == workload.SharedStream(prof, pagetable.Size4K, 50, 1) {
+		t.Error("-stream-cache 0 did not disable sharing")
+	}
+	applyStreamCacheBudget(64)
+	if workload.SharedStream(prof, pagetable.Size4K, 50, 1) != workload.SharedStream(prof, pagetable.Size4K, 50, 1) {
+		t.Error("-stream-cache 64 did not enable sharing")
 	}
 }

@@ -47,6 +47,29 @@ func BenchmarkAccessHit(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessSamePageRun measures a run of accesses that stay within
+// one page (varying offsets), the pattern a core hammering a hot page
+// produces. This is the L0 translation memo's fast path: after the first
+// access the remaining ones short-circuit the TLB probe entirely while
+// keeping every counter identical. Must be allocation-free.
+func BenchmarkAccessSamePageRun(b *testing.B) {
+	for _, tech := range []walker.Mode{walker.ModeNative, walker.ModeAgile} {
+		b.Run(tech.String(), func(b *testing.B) {
+			m, base := benchMachine(b, tech, 16)
+			if err := m.Access(base|0x123, false); err != nil { // warm TLB + memo
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Access(base|uint64(i&0xfff), false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAccessMiss measures an access whose translation misses the whole
 // TLB hierarchy and pays a hardware walk. The footprint cycles through 4×
 // the total TLB capacity so practically every access misses.
@@ -111,6 +134,30 @@ func TestAccessHitZeroAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("%v TLB-hit access with telemetry allocates %.1f objects/op, want 0", tech, allocs)
+		}
+
+		// The L0 memo fast path (repeat access to the same page) and the
+		// full-probe path it falls back to on a page change must both stay
+		// allocation-free.
+		off := uint64(0)
+		allocs = testing.AllocsPerRun(200, func() {
+			off = (off + 64) & 0xfff
+			if err := m.Access(base|off, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v memo-hit access allocates %.1f objects/op, want 0", tech, allocs)
+		}
+		page := uint64(0)
+		allocs = testing.AllocsPerRun(200, func() {
+			page = (page + 1) & 0xf // alternate pages: TLB hit, memo miss
+			if err := m.Access(base|page<<12|0x123, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v alternating-page TLB-hit access allocates %.1f objects/op, want 0", tech, allocs)
 		}
 	}
 }

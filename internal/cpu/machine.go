@@ -77,6 +77,12 @@ type Config struct {
 	// walker.ModeAgile for the underlying mechanisms).
 	UseSHSP bool
 	SHSP    core.SHSPConfig
+
+	// DisableL0Memo turns off the per-core generation-checked translation
+	// memo. The memo is semantically transparent — reports are bit-identical
+	// either way (see TestBatchedExecutionEquivalence) — so this exists only
+	// for equivalence tests and before/after microbenchmarks.
+	DisableL0Memo bool
 }
 
 // DefaultConfig returns the baseline machine for a technique and page size:
@@ -118,6 +124,25 @@ type Stats struct {
 	CtxSwitches     uint64
 }
 
+// l0Memo caches one core's last successful translation — the "L0 TLB". A
+// run of accesses to the same page short-circuits the full hierarchy probe
+// while performing exactly the counter updates the probe would (see
+// Machine.translate). Validity is generation-checked: the memo is usable
+// only while the core's TLB hierarchy has seen no invalidation or flush
+// since the memo was recorded (tlb.Hierarchy.Gen). Because the memo always
+// describes the core's most recent lookup, the entry is necessarily still
+// most-recent in its TLB set, so no intervening insert can have evicted it
+// and skipping the LRU touch is unobservable.
+type l0Memo struct {
+	gen      uint64 // tlbs.Gen() when recorded
+	base     uint64 // VA page base
+	mask     uint64 // page-size offset mask
+	asid     uint16
+	fetch    bool // instruction-side translation
+	writable bool
+	valid    bool
+}
+
 // coreState is the translation state private to one CPU core.
 type coreState struct {
 	idx    int
@@ -131,6 +156,7 @@ type coreState struct {
 	// unvirtualized or idle) so the fault and policy paths do not resolve
 	// the ASID→context map on every access.
 	ctx *vmm.Context
+	l0  l0Memo
 }
 
 // Machine is the assembled simulator.
@@ -297,8 +323,14 @@ func asidFor(pid int) uint16 { return uint16(pid + 1) }
 
 // Run executes the generator's op stream to completion. Errors carry the
 // zero-based index of the failing op within the stream so deterministic
-// workloads can be replayed up to the failure point.
+// workloads can be replayed up to the failure point. Fixed op lists
+// (FromOps, including shared workload streams) take the batched in-place
+// path; live generators fall back to op-at-a-time dispatch.
 func (m *Machine) Run(gen workload.Generator) error {
+	if f, ok := gen.(*workload.FromOps); ok {
+		base := f.Pos()
+		return m.RunOps(f.TakeRest(), base)
+	}
 	for i := 0; ; i++ {
 		op, ok := gen.Next()
 		if !ok {
@@ -310,13 +342,72 @@ func (m *Machine) Run(gen workload.Generator) error {
 	}
 }
 
+// RunOps executes a fixed op slice with batched dispatch: a run of
+// consecutive plain accesses on the same core executes in a tight loop
+// that resolves the core and scheduled process once, instead of paying the
+// op-kind switch, core clamp, and process lookup per op. Execution is
+// op-for-op identical to Exec-ing each element (see
+// TestBatchedExecutionEquivalence). base is the stream index of ops[0],
+// used to label errors with stream-absolute op indices. The slice is never
+// written to and may be shared with concurrent runs.
+func (m *Machine) RunOps(ops []workload.Op, base int) error {
+	for i := 0; i < len(ops); {
+		op := &ops[i]
+		if op.Kind != workload.OpAccess {
+			if err := m.Exec(*op); err != nil {
+				return fmt.Errorf("op %d (%v) pid=%d va=%#x: %w", base+i, op.Kind, op.PID, op.VA, err)
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ops) && ops[j].Kind == workload.OpAccess && ops[j].Core == op.Core {
+			j++
+		}
+		if k, err := m.accessRun(m.coreIndex(op.Core), ops[i:j]); err != nil {
+			fail := &ops[i+k]
+			return fmt.Errorf("op %d (%v) pid=%d va=%#x: %w", base+i+k, fail.Kind, fail.PID, fail.VA, err)
+		}
+		i = j
+	}
+	return nil
+}
+
+// accessRun executes a run of same-core access ops. On error it returns
+// the run-relative index of the failing op.
+func (m *Machine) accessRun(coreIdx int, ops []workload.Op) (int, error) {
+	c := m.cores[coreIdx]
+	cur := c.cur
+	if cur == nil || c.regs.ASID == 0 {
+		return 0, errNoProcess
+	}
+	for k := range ops {
+		op := &ops[k]
+		// Same structure as accessOn: the policy tick and telemetry sample
+		// run even when the access errors.
+		err := m.translate(c, cur, op.VA, op.Write, op.Fetch)
+		m.policyTick()
+		if m.tel != nil && m.tel.OnAccess() {
+			m.tel.Sample(m.TelemetryCounters())
+		}
+		if err != nil {
+			return k, err
+		}
+	}
+	return 0, nil
+}
+
+// coreIndex clamps an op's core selector to a valid core.
+func (m *Machine) coreIndex(core int) int {
+	if core < 0 || core >= len(m.cores) {
+		return 0
+	}
+	return core
+}
+
 // coreFor resolves an op's core index.
 func (m *Machine) coreFor(op workload.Op) int {
-	c := op.Core
-	if c < 0 || c >= len(m.cores) {
-		c = 0
-	}
-	return c
+	return m.coreIndex(op.Core)
 }
 
 // Exec executes one op.
@@ -423,6 +514,18 @@ func (m *Machine) translate(c *coreState, cur *guest.Process, va uint64, write, 
 	}
 	m.charge(&m.stats.IdealCycles, &m.sinceTickIdeal, m.cfg.AccessCycles)
 
+	// L0 memo: a repeat of the core's previous translation (same page, same
+	// address space, same TLB side, sufficient permission) is provably still
+	// an L1 hit as long as the hierarchy has seen no invalidation since —
+	// the entry was most-recent in its set and nothing evicted it. Account
+	// it exactly as the full probe would and skip the probe.
+	if l0 := &c.l0; l0.valid && l0.gen == c.tlbs.Gen() &&
+		va&^l0.mask == l0.base && l0.asid == c.regs.ASID && l0.fetch == fetch &&
+		(!write || l0.writable) && !m.cfg.DisableL0Memo {
+		c.tlbs.NoteRepeatL1Hit()
+		return nil
+	}
+
 	// logged tracks whether this logical access already produced a miss
 	// record: a store that walks, hits a read-only entry, and re-walks
 	// after the write-protection upgrade logs again, and that second
@@ -435,6 +538,15 @@ func (m *Machine) translate(c *coreState, cur *guest.Process, va uint64, write, 
 					return err
 				}
 				continue
+			}
+			c.l0 = l0Memo{
+				gen:      c.tlbs.Gen(),
+				base:     va &^ r.Size.Mask(),
+				mask:     r.Size.Mask(),
+				asid:     c.regs.ASID,
+				fetch:    fetch,
+				writable: r.Flags.Writable(),
+				valid:    true,
 			}
 			return nil
 		}

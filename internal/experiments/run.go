@@ -123,7 +123,12 @@ func RunProfile(name string, o Options) (cpu.Report, error) {
 	if !ok {
 		return cpu.Report{}, fmt.Errorf("experiments: unknown workload %q", name)
 	}
-	cfg := machineConfig(o)
+	return runScaled(prof, machineConfig(o), o)
+}
+
+// runScaled is RunProfile with an explicit machine configuration (the
+// sensitivity sweep perturbs cost-model fields before running).
+func runScaled(prof workload.Profile, cfg cpu.Config, o Options) (cpu.Report, error) {
 	if prof.Threads > cfg.Cores {
 		// Multithreaded workloads get one core per thread (private TLBs,
 		// shared address space), as on the paper's 24-vCPU machine.
@@ -133,32 +138,40 @@ func RunProfile(name string, o Options) (cpu.Report, error) {
 	if err != nil {
 		return cpu.Report{}, err
 	}
+	return runStream(m, prof, o)
+}
+
+// runStream replays the shared op stream for (prof, o) on m: warmup ops,
+// measurement reset, measured ops, telemetry flush. Every technique and
+// sweep cell asking for the same (profile, page size, accesses, seed)
+// replays one cached immutable stream (workload.SharedStream), so stream
+// generation is paid once per sweep instead of once per run.
+func runStream(m *cpu.Machine, prof workload.Profile, o Options) (cpu.Report, error) {
 	warm := warmupCount(o)
-	if warm == 0 {
+	stream := workload.SharedStream(prof, o.PageSize, warm+o.Accesses, o.Seed)
+	ops := stream.Ops()
+	split := 0
+	if warm > 0 {
+		// ops[:split] executes exactly the warm first accesses (bursts
+		// included, matching the run loop this replaces).
+		split = stream.AccessBoundary(warm)
+	} else {
 		attachLogs(m, o)
 	}
-	gen := workload.New(prof, o.PageSize, warm+o.Accesses, o.Seed)
-	accesses := 0
-	for {
-		op, ok := gen.Next()
-		if !ok {
-			break
-		}
-		if err := m.Exec(op); err != nil {
-			return cpu.Report{}, fmt.Errorf("experiments: %s/%v/%v: %w", name, o.Technique, o.PageSize, err)
-		}
-		if op.Kind == workload.OpAccess {
-			accesses++
-			if accesses == warm {
-				// End of warmup: measure steady state only. Logs attach
-				// here so traces cover the measured window.
-				m.ResetMeasurement()
-				attachLogs(m, o)
-			}
-		}
+	if err := m.RunOps(ops[:split], 0); err != nil {
+		return cpu.Report{}, fmt.Errorf("experiments: %s/%v/%v: %w", prof.Name, o.Technique, o.PageSize, err)
+	}
+	if warm > 0 {
+		// End of warmup: measure steady state only. Logs attach here so
+		// traces cover the measured window.
+		m.ResetMeasurement()
+		attachLogs(m, o)
+	}
+	if err := m.RunOps(ops[split:], split); err != nil {
+		return cpu.Report{}, fmt.Errorf("experiments: %s/%v/%v: %w", prof.Name, o.Technique, o.PageSize, err)
 	}
 	m.FlushTelemetry()
-	return m.Report(name), nil
+	return m.Report(prof.Name), nil
 }
 
 // RunOps simulates a fixed op stream (microbenchmarks).
@@ -168,7 +181,7 @@ func RunOps(name string, ops []workload.Op, o Options) (cpu.Report, *cpu.Machine
 		return cpu.Report{}, nil, err
 	}
 	attachLogs(m, o)
-	if err := m.Run(workload.NewFromOps(name, ops)); err != nil {
+	if err := m.RunOps(ops, 0); err != nil {
 		return cpu.Report{}, nil, err
 	}
 	m.FlushTelemetry()

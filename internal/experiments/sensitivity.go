@@ -6,7 +6,6 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
 	"agilepaging/internal/sweep"
 	"agilepaging/internal/vmm"
@@ -103,36 +102,6 @@ func SensitivitySweep(ctx context.Context, cfg sweep.Config, accesses int, seed 
 		rows = append(rows, row)
 	}
 	return rows, nil
-}
-
-// runScaled is RunProfile with an explicit machine configuration.
-func runScaled(prof workload.Profile, cfg cpu.Config, o Options) (cpu.Report, error) {
-	if prof.Threads > cfg.Cores {
-		cfg.Cores = prof.Threads
-	}
-	m, err := cpu.New(cfg)
-	if err != nil {
-		return cpu.Report{}, err
-	}
-	warm := warmupCount(o)
-	gen := workload.New(prof, o.PageSize, warm+o.Accesses, o.Seed)
-	accesses := 0
-	for {
-		op, ok := gen.Next()
-		if !ok {
-			break
-		}
-		if err := m.Exec(op); err != nil {
-			return cpu.Report{}, err
-		}
-		if op.Kind == workload.OpAccess {
-			accesses++
-			if accesses == warm {
-				m.ResetMeasurement()
-			}
-		}
-	}
-	return m.Report(prof.Name), nil
 }
 
 // FormatSensitivity renders the sweep.

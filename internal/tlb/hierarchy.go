@@ -126,6 +126,15 @@ type Hierarchy struct {
 	i1probe []probe
 	l2probe []probe
 	all     []*setAssoc
+
+	// gen is the invalidation generation: it advances on every
+	// InvalidatePage/FlushASID/FlushAll, never on lookups or inserts. A
+	// caller-held memo of a positive lookup tagged with the generation it
+	// was made at is therefore still resident (and unchanged) as long as
+	// the generation matches and the caller made no intervening lookups —
+	// the contract behind the per-core L0 translation memo (see
+	// DESIGN.md "Performance engineering").
+	gen uint64
 }
 
 // NewHierarchy builds the hierarchy from cfg. Arrays with zero entries are
@@ -171,6 +180,23 @@ func NewHierarchy(cfg Config) *Hierarchy {
 
 // Stats returns a copy of the accumulated counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Gen returns the invalidation generation. It advances on every
+// InvalidatePage, FlushASID, and FlushAll — any operation that can remove
+// or narrow a cached translation — and never on lookups or inserts.
+func (h *Hierarchy) Gen() uint64 { return h.gen }
+
+// NoteRepeatL1Hit accounts an L1 hit served from a caller-held memo of the
+// immediately-preceding successful lookup on this hierarchy. It performs
+// exactly the statistics updates a Lookup L1 hit would. The LRU touch is
+// deliberately skipped: the memoized entry was the hierarchy's most recent
+// lookup or insert, so it is already most-recent in its set, and per-array
+// clocks only order entries relative to one another — skipping uniform
+// clock advances cannot change any future victim choice.
+func (h *Hierarchy) NoteRepeatL1Hit() {
+	h.stats.Lookups++
+	h.stats.L1Hits++
+}
 
 // ResetStats zeroes the counters without touching cache contents.
 func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
@@ -222,6 +248,7 @@ func (h *Hierarchy) Insert(asid uint16, va uint64, size pagetable.Size, paBase u
 // (all page sizes, both L1 sides and L2), modeling INVLPG.
 func (h *Hierarchy) InvalidatePage(asid uint16, va uint64) {
 	h.stats.Invalids++
+	h.gen++
 	for _, c := range h.all {
 		c.invalidate(asid, va)
 	}
@@ -231,6 +258,7 @@ func (h *Hierarchy) InvalidatePage(asid uint16, va uint64) {
 // CR3 write with PGE enabled.
 func (h *Hierarchy) FlushASID(asid uint16) {
 	h.stats.Flushes++
+	h.gen++
 	for _, c := range h.all {
 		c.flush(asid, false, true)
 	}
@@ -239,6 +267,7 @@ func (h *Hierarchy) FlushASID(asid uint16) {
 // FlushAll drops every translation including globals.
 func (h *Hierarchy) FlushAll() {
 	h.stats.Flushes++
+	h.gen++
 	for _, c := range h.all {
 		c.flush(0, true, false)
 	}

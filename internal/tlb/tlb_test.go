@@ -301,3 +301,50 @@ func TestScaledNormalizesAbsentArrays(t *testing.T) {
 		t.Error("lookup hit in an empty scaled hierarchy")
 	}
 }
+
+func TestGenerationCounter(t *testing.T) {
+	h := newSB()
+	if h.Gen() != 0 {
+		t.Fatalf("fresh hierarchy gen = %d, want 0", h.Gen())
+	}
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	h.Lookup(1, 0x1000, false)
+	h.Lookup(1, 0x9999000, false) // miss
+	h.NoteRepeatL1Hit()
+	if h.Gen() != 0 {
+		t.Errorf("gen = %d after inserts/lookups, want 0 (only invalidations advance it)", h.Gen())
+	}
+	h.InvalidatePage(1, 0x1000)
+	if h.Gen() != 1 {
+		t.Errorf("gen = %d after InvalidatePage, want 1", h.Gen())
+	}
+	h.FlushASID(1)
+	if h.Gen() != 2 {
+		t.Errorf("gen = %d after FlushASID, want 2", h.Gen())
+	}
+	h.FlushAll()
+	if h.Gen() != 3 {
+		t.Errorf("gen = %d after FlushAll, want 3", h.Gen())
+	}
+}
+
+func TestNoteRepeatL1HitStats(t *testing.T) {
+	h := newSB()
+	h.Insert(1, 0x1000, pagetable.Size4K, 0x2000, 0, false)
+	if _, ok := h.Lookup(1, 0x1000, false); !ok {
+		t.Fatal("miss after insert")
+	}
+	before := h.Stats()
+	h.NoteRepeatL1Hit()
+	after := h.Stats()
+	if after.Lookups != before.Lookups+1 || after.L1Hits != before.L1Hits+1 {
+		t.Errorf("NoteRepeatL1Hit: stats %+v -> %+v, want exactly one Lookup and one L1Hit more", before, after)
+	}
+	if after.Misses != before.Misses || after.L2Hits != before.L2Hits {
+		t.Errorf("NoteRepeatL1Hit touched miss/L2 counters: %+v -> %+v", before, after)
+	}
+	// The memoized entry must still be resident and unchanged afterwards.
+	if r, ok := h.Lookup(1, 0x1000, false); !ok || r.Level != 1 {
+		t.Errorf("entry not an L1 hit after NoteRepeatL1Hit: ok=%v r=%+v", ok, r)
+	}
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"sync"
+	"unsafe"
+
+	"agilepaging/internal/pagetable"
+)
+
+// Stream is one fully-generated workload op stream, immutable after
+// construction and shared freely across concurrent runs. Every technique of
+// a Compare or Figure 5 sweep replays the same (profile, page size,
+// accesses, seed) stream, so generating it once removes the per-run RNG and
+// FIFO cost that used to be paid N×M times (N techniques × M sweep cells).
+//
+// Concurrency contract: Ops returns the backing slice without copying;
+// callers must treat it as read-only. All methods are safe for concurrent
+// use.
+type Stream struct {
+	name     string
+	ops      []Op
+	accesses int // number of OpAccess ops in ops
+
+	mu         sync.Mutex
+	boundaries map[int]int // memoized AccessBoundary results
+}
+
+// newStream wraps a generated op list.
+func newStream(name string, ops []Op) *Stream {
+	s := &Stream{name: name, ops: ops}
+	for i := range ops {
+		if ops[i].Kind == OpAccess {
+			s.accesses++
+		}
+	}
+	return s
+}
+
+// Name identifies the workload the stream was generated from.
+func (s *Stream) Name() string { return s.name }
+
+// Ops returns the full op list. The slice is shared: read-only.
+func (s *Stream) Ops() []Op { return s.ops }
+
+// Len reports the total op count.
+func (s *Stream) Len() int { return len(s.ops) }
+
+// Accesses reports the number of OpAccess ops in the stream (steady-phase
+// plus burst accesses — the count run drivers split warmup windows on).
+func (s *Stream) Accesses() int { return s.accesses }
+
+// Replay returns a fresh cursor over the stream for Generator consumers.
+func (s *Stream) Replay() *FromOps { return NewFromOps(s.name, s.ops) }
+
+// AccessBoundary returns the index just past the n-th OpAccess op (1-based),
+// so ops[:boundary] executes exactly n accesses — the warmup/measure split.
+// n <= 0 returns 0; n beyond the stream returns Len(). Results are memoized
+// because sweeps ask for the same split on every technique.
+func (s *Stream) AccessBoundary(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n >= s.accesses {
+		return len(s.ops)
+	}
+	s.mu.Lock()
+	if b, ok := s.boundaries[n]; ok {
+		s.mu.Unlock()
+		return b
+	}
+	s.mu.Unlock()
+	seen := 0
+	boundary := len(s.ops)
+	for i := range s.ops {
+		if s.ops[i].Kind == OpAccess {
+			seen++
+			if seen == n {
+				boundary = i + 1
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	if s.boundaries == nil {
+		s.boundaries = make(map[int]int)
+	}
+	s.boundaries[n] = boundary
+	s.mu.Unlock()
+	return boundary
+}
+
+// streamKey identifies one generated stream. Profile contains only value
+// fields, so the struct is comparable and two keys are equal exactly when
+// New would produce identical streams.
+type streamKey struct {
+	prof     Profile
+	pageSize pagetable.Size
+	accesses int
+	seed     int64
+}
+
+// streamEntry is one cache slot. The sync.Once dedupes concurrent
+// generation of the same key without holding the cache lock across the
+// (milliseconds-long) generation itself.
+type streamEntry struct {
+	once    sync.Once
+	s       *Stream
+	bytes   int64
+	lastUse uint64
+}
+
+// opBytes is the in-memory footprint of one op, used for cache accounting.
+const opBytes = int64(unsafe.Sizeof(Op{}))
+
+// DefaultStreamCacheBytes bounds the shared stream cache: a full Figure 5
+// sweep at the benchmark scale (8 workloads × 2 page sizes × 180k-access
+// streams) fits with room to spare; larger sweeps evict least-recently-used
+// streams and regenerate on demand.
+const DefaultStreamCacheBytes = 256 << 20
+
+// streamCache is the process-wide shared stream cache.
+var streamCache = struct {
+	mu      sync.Mutex
+	entries map[streamKey]*streamEntry
+	clock   uint64
+	bytes   int64
+	budget  int64
+	hits    uint64
+	misses  uint64
+}{
+	entries: make(map[streamKey]*streamEntry),
+	budget:  DefaultStreamCacheBytes,
+}
+
+// StreamCacheStats reports cache effectiveness and current footprint.
+// A hit means the requested stream was already generated (or being
+// generated) when asked for.
+func StreamCacheStats() (hits, misses uint64, bytes int64) {
+	streamCache.mu.Lock()
+	defer streamCache.mu.Unlock()
+	return streamCache.hits, streamCache.misses, streamCache.bytes
+}
+
+// SetStreamCacheBudget sets the cache's byte budget. budget == 0 disables
+// caching entirely (every SharedStream call generates a private stream);
+// budget < 0 removes the bound. Shrinking evicts immediately.
+func SetStreamCacheBudget(budget int64) {
+	streamCache.mu.Lock()
+	streamCache.budget = budget
+	evictLocked(nil)
+	streamCache.mu.Unlock()
+}
+
+// ResetStreamCache drops every cached stream and zeroes the statistics
+// (tests and memory-sensitive callers).
+func ResetStreamCache() {
+	streamCache.mu.Lock()
+	streamCache.entries = make(map[streamKey]*streamEntry)
+	streamCache.bytes = 0
+	streamCache.hits = 0
+	streamCache.misses = 0
+	streamCache.mu.Unlock()
+}
+
+// evictLocked drops generated streams, least recently used first, until the
+// cache fits its budget. keep, if non-nil, is never evicted (the entry the
+// caller is about to return). Entries still generating (s == nil) are
+// skipped: their size is unknown and a waiter holds a reference anyway.
+func evictLocked(keep *streamEntry) {
+	c := &streamCache
+	if c.budget < 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		var victimKey streamKey
+		var victim *streamEntry
+		for k, e := range c.entries {
+			if e == keep || e.s == nil {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim, victimKey = e, k
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victimKey)
+		c.bytes -= victim.bytes
+	}
+}
+
+// SharedStream returns the cached op stream for (prof, pageSize, accesses,
+// seed), generating it once on first use. Identical parameters always
+// return the same *Stream until it is evicted, so N techniques × M sweep
+// cells replaying the same workload share one generation and one backing
+// array. Safe for concurrent use; concurrent requests for the same key
+// generate once and share the result.
+func SharedStream(prof Profile, pageSize pagetable.Size, accesses int, seed int64) *Stream {
+	// Normalize like New does so trivially-different Profiles (Processes 0
+	// versus 1) share an entry.
+	if prof.Processes < 1 {
+		prof.Processes = 1
+	}
+	if prof.Threads < 1 {
+		prof.Threads = 1
+	}
+	key := streamKey{prof: prof, pageSize: pageSize, accesses: accesses, seed: seed}
+
+	c := &streamCache
+	c.mu.Lock()
+	if c.budget == 0 {
+		c.misses++
+		c.mu.Unlock()
+		return newStream(prof.Name, Collect(New(prof, pageSize, accesses, seed), -1))
+	}
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		e = &streamEntry{}
+		c.entries[key] = e
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.s = newStream(prof.Name, Collect(New(prof, pageSize, accesses, seed), -1))
+		e.bytes = int64(len(e.s.ops))*opBytes + int64(unsafe.Sizeof(Stream{}))
+		c.mu.Lock()
+		// The entry may have been evicted (or the cache reset) while we
+		// generated; only charge entries still in the map.
+		if c.entries[key] == e {
+			c.bytes += e.bytes
+			evictLocked(e)
+		}
+		c.mu.Unlock()
+	})
+	return e.s
+}

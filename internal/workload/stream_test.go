@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"agilepaging/internal/pagetable"
+)
+
+// freshCache isolates a test from global stream-cache state.
+func freshCache(t testing.TB, budget int64) {
+	t.Helper()
+	ResetStreamCache()
+	SetStreamCacheBudget(budget)
+	t.Cleanup(func() {
+		ResetStreamCache()
+		SetStreamCacheBudget(DefaultStreamCacheBytes)
+	})
+}
+
+func streamProfile(name string) Profile {
+	return Profile{
+		Name: name, FootprintBytes: 1 << 20, Pattern: PatternZipf,
+		ZipfS: 1.1, WriteRatio: 0.3, MmapChurnEvery: 200,
+		ChurnRegionBytes: 16 << 10, ChurnRegions: 2,
+	}
+}
+
+func TestSharedStreamMatchesGenerator(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("shared")
+	want := Collect(New(prof, pagetable.Size4K, 1000, 7), -1)
+	s := SharedStream(prof, pagetable.Size4K, 1000, 7)
+	if !reflect.DeepEqual(want, s.Ops()) {
+		t.Fatal("SharedStream ops differ from a fresh generator's")
+	}
+	accesses := 0
+	for _, op := range want {
+		if op.Kind == OpAccess {
+			accesses++
+		}
+	}
+	if s.Accesses() != accesses {
+		t.Errorf("Accesses() = %d, want %d", s.Accesses(), accesses)
+	}
+	// Replay must walk the identical sequence.
+	got := Collect(s.Replay(), -1)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("Replay() sequence differs")
+	}
+}
+
+func TestSharedStreamCacheHit(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("hit")
+	a := SharedStream(prof, pagetable.Size4K, 500, 1)
+	b := SharedStream(prof, pagetable.Size4K, 500, 1)
+	if a != b {
+		t.Error("identical parameters returned distinct streams")
+	}
+	// Different seed, page size, or accesses must not share.
+	if SharedStream(prof, pagetable.Size4K, 500, 2) == a {
+		t.Error("different seed shared a stream")
+	}
+	if SharedStream(prof, pagetable.Size2M, 500, 1) == a {
+		t.Error("different page size shared a stream")
+	}
+	hits, misses, bytes := StreamCacheStats()
+	if hits != 1 || misses != 3 {
+		t.Errorf("stats = %d hits / %d misses, want 1/3", hits, misses)
+	}
+	if bytes <= 0 {
+		t.Errorf("cache bytes = %d, want > 0", bytes)
+	}
+	// Normalization: Processes/Threads 0 and 1 are the same workload.
+	p0 := streamProfile("norm")
+	p1 := p0
+	p1.Processes, p1.Threads = 1, 1
+	if SharedStream(p0, pagetable.Size4K, 100, 3) != SharedStream(p1, pagetable.Size4K, 100, 3) {
+		t.Error("Processes/Threads normalization failed; equivalent profiles missed")
+	}
+}
+
+func TestSharedStreamBudgetZeroDisables(t *testing.T) {
+	freshCache(t, 0)
+	prof := streamProfile("nocache")
+	a := SharedStream(prof, pagetable.Size4K, 300, 1)
+	b := SharedStream(prof, pagetable.Size4K, 300, 1)
+	if a == b {
+		t.Error("budget 0 should disable sharing")
+	}
+	if !reflect.DeepEqual(a.Ops(), b.Ops()) {
+		t.Error("private streams differ for identical parameters")
+	}
+	if _, _, bytes := StreamCacheStats(); bytes != 0 {
+		t.Errorf("disabled cache holds %d bytes, want 0", bytes)
+	}
+}
+
+func TestStreamCacheEviction(t *testing.T) {
+	// Budget sized to hold roughly one stream, so each new key evicts the
+	// previous one.
+	prof := streamProfile("evict")
+	probe := SharedStream(prof, pagetable.Size4K, 2000, 1)
+	one := int64(len(probe.Ops()))*opBytes + 512
+	freshCache(t, one)
+
+	a := SharedStream(prof, pagetable.Size4K, 2000, 1)
+	SharedStream(prof, pagetable.Size4K, 2000, 2) // evicts a
+	_, _, bytes := StreamCacheStats()
+	if bytes > one {
+		t.Errorf("cache bytes %d exceed budget %d after eviction", bytes, one)
+	}
+	if SharedStream(prof, pagetable.Size4K, 2000, 1) == a {
+		t.Error("stream for seed 1 survived over-budget eviction")
+	}
+
+	// Unlimited budget never evicts.
+	freshCache(t, -1)
+	for seed := int64(0); seed < 8; seed++ {
+		SharedStream(prof, pagetable.Size4K, 2000, seed)
+	}
+	if hits, misses, _ := StreamCacheStats(); hits != 0 || misses != 8 {
+		t.Errorf("unbounded cache stats %d/%d, want 0 hits / 8 misses", hits, misses)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		SharedStream(prof, pagetable.Size4K, 2000, seed)
+	}
+	if hits, _, _ := StreamCacheStats(); hits != 8 {
+		t.Errorf("unbounded cache evicted: %d hits on re-request, want 8", hits)
+	}
+}
+
+func TestSharedStreamConcurrent(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("conc")
+	const goroutines = 16
+	results := make([]*Stream, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = SharedStream(prof, pagetable.Size4K, 1500, 9)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d got a different stream instance", i)
+		}
+	}
+	hits, misses, _ := StreamCacheStats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Errorf("stats = %d hits / %d misses, want %d/1 (single generation)", hits, misses, goroutines-1)
+	}
+}
+
+func TestAccessBoundary(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("boundary")
+	s := SharedStream(prof, pagetable.Size4K, 1000, 5)
+	if got := s.AccessBoundary(0); got != 0 {
+		t.Errorf("AccessBoundary(0) = %d, want 0", got)
+	}
+	if got := s.AccessBoundary(-3); got != 0 {
+		t.Errorf("AccessBoundary(-3) = %d, want 0", got)
+	}
+	if got := s.AccessBoundary(s.Accesses() + 10); got != s.Len() {
+		t.Errorf("AccessBoundary(beyond) = %d, want Len %d", got, s.Len())
+	}
+	for _, n := range []int{1, 7, 100, s.Accesses() / 2, s.Accesses()} {
+		b := s.AccessBoundary(n)
+		seen := 0
+		for _, op := range s.Ops()[:b] {
+			if op.Kind == OpAccess {
+				seen++
+			}
+		}
+		if seen != n {
+			t.Errorf("AccessBoundary(%d) = %d covers %d accesses", n, b, seen)
+		}
+		if b > 0 && s.Ops()[b-1].Kind != OpAccess {
+			t.Errorf("AccessBoundary(%d): op %d is %v, want the n-th access itself", n, b-1, s.Ops()[b-1].Kind)
+		}
+		// Memoized second ask must agree.
+		if again := s.AccessBoundary(n); again != b {
+			t.Errorf("AccessBoundary(%d) memo = %d, first answer %d", n, again, b)
+		}
+	}
+}
+
+func BenchmarkSharedStreamHit(b *testing.B) {
+	freshCache(b, DefaultStreamCacheBytes)
+	prof := streamProfile("bench-hit")
+	SharedStream(prof, pagetable.Size4K, 30_000, 42) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SharedStream(prof, pagetable.Size4K, 30_000, 42)
+	}
+}
+
+func BenchmarkSharedStreamMiss(b *testing.B) {
+	freshCache(b, -1)
+	prof := streamProfile("bench-miss")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SharedStream(prof, pagetable.Size4K, 30_000, int64(i))
+	}
+}
