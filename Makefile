@@ -1,14 +1,29 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-micro bench-compare bench-parallel clean
+.PHONY: all check vet build test race lint bench bench-micro bench-compare bench-parallel clean
 
 all: check
 
 # check runs everything CI runs.
-check: vet build test race
+check: vet build test race lint
 
 vet:
 	$(GO) vet ./...
+
+# lint mirrors CI's lint job. staticcheck and govulncheck are not vendored
+# and must not be auto-installed here (the build environment is offline);
+# when a tool is absent the target says so and moves on rather than failing.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -33,8 +48,9 @@ bench-micro:
 		./internal/memsim ./internal/walker ./internal/tlb ./internal/cpu
 
 # bench-compare diffs the current tree's microbenchmarks against the
-# baseline recorded in BENCH_PR4.json (BENCH_PR2.json stays in the tree as
-# history; replay it with `go run ./cmd/benchbaseline -file BENCH_PR2.json`).
+# baseline recorded in BENCH_PR6.json (BENCH_PR4.json and BENCH_PR2.json
+# stay in the tree as history; replay one with
+# `go run ./cmd/benchbaseline -file BENCH_PR4.json`).
 # Uses benchstat when installed; otherwise prints both result sets for
 # eyeball comparison.
 bench-compare:
@@ -45,7 +61,7 @@ bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat /tmp/bench_baseline.txt /tmp/bench_current.txt; \
 	else \
-		echo "benchstat not installed; baseline (BENCH_PR4.json) vs current:"; \
+		echo "benchstat not installed; baseline (BENCH_PR6.json) vs current:"; \
 		echo "--- baseline ---"; grep -E '^Benchmark' /tmp/bench_baseline.txt; \
 		echo "--- current ---"; grep -E '^Benchmark' /tmp/bench_current.txt; \
 	fi

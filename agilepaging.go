@@ -59,6 +59,41 @@ func (t Technique) String() string { return t.mode().String() }
 // MarshalJSON encodes the technique by name.
 func (t Technique) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
 
+// UnmarshalJSON decodes a technique name accepted by ParseTechnique, so
+// Technique round-trips through JSON.
+func (t *Technique) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseTechnique(s)
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}
+
+// ParseTechnique parses a technique name as written by Technique.String,
+// case insensitively, with the single-letter and "base" aliases. The CLI
+// -technique flags and JSON decoding share this parser.
+func ParseTechnique(s string) (Technique, error) {
+	mode, err := walker.ParseMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("agilepaging: %w", err)
+	}
+	switch mode {
+	case walker.ModeNative:
+		return Native, nil
+	case walker.ModeNested:
+		return Nested, nil
+	case walker.ModeShadow:
+		return Shadow, nil
+	default:
+		return Agile, nil
+	}
+}
+
 func (t Technique) mode() walker.Mode {
 	switch t {
 	case Native:
@@ -97,6 +132,39 @@ func (p PageSize) String() string { return p.size().String() }
 // MarshalJSON encodes the page size by name.
 func (p PageSize) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
 
+// UnmarshalJSON decodes a page-size name accepted by ParsePageSize, so
+// PageSize round-trips through JSON.
+func (p *PageSize) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParsePageSize(s)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// ParsePageSize parses a page-size name as written by PageSize.String,
+// case insensitively, with "KB"/"MB"/"GB" suffix forms. The CLI -pagesize
+// flags and JSON decoding share this parser.
+func ParsePageSize(s string) (PageSize, error) {
+	size, err := pagetable.ParseSize(s)
+	if err != nil {
+		return 0, fmt.Errorf("agilepaging: %w", err)
+	}
+	switch size {
+	case pagetable.Size4K:
+		return Page4K, nil
+	case pagetable.Size2M:
+		return Page2M, nil
+	default:
+		return Page1G, nil
+	}
+}
+
 func (p PageSize) size() pagetable.Size {
 	switch p {
 	case Page4K:
@@ -122,6 +190,46 @@ const (
 	// RevertNone never converts nested parts back.
 	RevertNone
 )
+
+// String names the policy as the paper describes it.
+func (p RevertPolicy) String() string { return p.core().String() }
+
+// MarshalJSON encodes the policy by name.
+func (p RevertPolicy) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON decodes a policy name accepted by ParseRevertPolicy, so
+// RevertPolicy round-trips through JSON.
+func (p *RevertPolicy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseRevertPolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// ParseRevertPolicy parses a policy name as written by RevertPolicy.String
+// ("none", "reset", "dirty-scan"), case insensitively.
+func ParseRevertPolicy(s string) (RevertPolicy, error) {
+	policy, err := core.ParseRevertPolicy(s)
+	if err != nil {
+		return 0, fmt.Errorf("agilepaging: %w", err)
+	}
+	// The facade orders the enum by preference (dirty-scan first, as the
+	// paper's default); map explicitly rather than by value.
+	switch policy {
+	case core.RevertNone:
+		return RevertNone, nil
+	case core.RevertReset:
+		return RevertReset, nil
+	default:
+		return RevertDirtyScan, nil
+	}
+}
 
 func (p RevertPolicy) core() core.RevertPolicy {
 	switch p {

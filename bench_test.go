@@ -17,11 +17,13 @@ package agilepaging
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
 
+	"agilepaging/internal/cpu"
 	"agilepaging/internal/experiments"
 	"agilepaging/internal/memsim"
 	"agilepaging/internal/pagetable"
@@ -35,6 +37,28 @@ const (
 	benchAccesses = 120_000
 	benchSeed     = 42
 )
+
+// -machine-pool-off reruns the sweep benchmarks with machine pooling
+// disabled — the construct-per-run lifecycle — so the pool's win can be
+// measured as an A/B on one tree:
+//
+//	go test -bench CompareSweep -benchmem -run '^$' .                    # pooled
+//	go test -bench CompareSweep -benchmem -run '^$' . -machine-pool-off  # fresh builds
+var machinePoolOff = flag.Bool("machine-pool-off", false,
+	"disable the machine pool (construct-per-run baseline for the sweep benchmarks)")
+
+// applyPoolMode configures the machine pool per the -machine-pool-off flag
+// and starts the benchmark from a cold pool either way, so pooled runs
+// measure the steady state a sweep reaches rather than leftovers of the
+// previous benchmark.
+func applyPoolMode(b *testing.B) {
+	b.Helper()
+	cpu.ResetMachinePool()
+	if *machinePoolOff {
+		cpu.SetMachinePoolCapacity(0)
+		b.Cleanup(func() { cpu.SetMachinePoolCapacity(cpu.DefaultMachinePoolCapacity) })
+	}
+}
 
 // BenchmarkTableI regenerates paper Table I: per-technique walk cost and
 // page-table update cost.
@@ -119,6 +143,7 @@ func BenchmarkFigure5Serial(b *testing.B)   { benchFigure5Sweep(b, 1) }
 func BenchmarkFigure5Parallel(b *testing.B) { benchFigure5Sweep(b, 0) }
 
 func benchFigure5Sweep(b *testing.B, workers int) {
+	applyPoolMode(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure5Sweep(context.Background(), sweep.Config{Workers: workers}, nil, benchAccesses, benchSeed)
 		if err != nil {
@@ -136,6 +161,7 @@ func benchFigure5Sweep(b *testing.B, workers int) {
 // (page-size) op streams, so this benchmark isolates the benefit of
 // op-stream sharing across techniques.
 func BenchmarkCompareSweep(b *testing.B) {
+	applyPoolMode(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure5Sweep(context.Background(), sweep.Config{Workers: 1}, []string{"dedup"}, benchAccesses, benchSeed)
 		if err != nil {

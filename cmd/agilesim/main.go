@@ -20,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"agilepaging"
+	"agilepaging/internal/cpu"
 	"agilepaging/internal/workload"
 )
 
@@ -45,6 +46,7 @@ func main() {
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		streamCache  = flag.Int64("stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
+		machinePool  = flag.Int("machine-pool", cpu.DefaultMachinePoolCapacity, "idle simulated machines kept for reuse across runs (0 disables pooling)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,7 @@ func main() {
 	} else {
 		workload.SetStreamCacheBudget(*streamCache << 20)
 	}
+	cpu.SetMachinePoolCapacity(*machinePool)
 
 	if *list {
 		fmt.Println(strings.Join(agilepaging.Workloads(), "\n"))
@@ -87,11 +90,11 @@ func main() {
 		}()
 	}
 
-	tech, err := parseTechnique(*technique)
+	tech, err := agilepaging.ParseTechnique(*technique)
 	if err != nil {
 		fatal(err)
 	}
-	ps, err := parsePageSize(*pageSize)
+	ps, err := agilepaging.ParsePageSize(*pageSize)
 	if err != nil {
 		fatal(err)
 	}
@@ -154,30 +157,6 @@ func main() {
 		return
 	}
 	printResult(res)
-}
-
-func parseTechnique(s string) (agilepaging.Technique, error) {
-	switch strings.ToLower(s) {
-	case "native", "base", "b":
-		return agilepaging.Native, nil
-	case "nested", "n":
-		return agilepaging.Nested, nil
-	case "shadow", "s":
-		return agilepaging.Shadow, nil
-	case "agile", "a":
-		return agilepaging.Agile, nil
-	}
-	return 0, fmt.Errorf("unknown technique %q (native|nested|shadow|agile)", s)
-}
-
-func parsePageSize(s string) (agilepaging.PageSize, error) {
-	switch strings.ToUpper(s) {
-	case "4K", "4KB":
-		return agilepaging.Page4K, nil
-	case "2M", "2MB":
-		return agilepaging.Page2M, nil
-	}
-	return 0, fmt.Errorf("unknown page size %q (4K|2M)", s)
 }
 
 func printResult(r agilepaging.Result) {

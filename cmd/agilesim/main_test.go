@@ -1,46 +1,47 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"agilepaging"
+)
+
+// The -technique and -pagesize flags route through the facade's shared
+// parsers; these tests pin the alias set the CLI documents.
 
 func TestParseTechnique(t *testing.T) {
-	cases := map[string]struct {
-		want agilepagingTechnique
-		ok   bool
-	}{}
-	_ = cases
 	for in, want := range map[string]string{
 		"native": "native", "B": "native", "nested": "nested", "n": "nested",
 		"Shadow": "shadow", "agile": "agile", "A": "agile",
 	} {
-		got, err := parseTechnique(in)
+		got, err := agilepaging.ParseTechnique(in)
 		if err != nil {
-			t.Errorf("parseTechnique(%q): %v", in, err)
+			t.Errorf("ParseTechnique(%q): %v", in, err)
 			continue
 		}
 		if got.String() != want {
-			t.Errorf("parseTechnique(%q) = %v, want %s", in, got, want)
+			t.Errorf("ParseTechnique(%q) = %v, want %s", in, got, want)
 		}
 	}
-	if _, err := parseTechnique("zen"); err == nil {
+	if _, err := agilepaging.ParseTechnique("zen"); err == nil {
 		t.Error("bad technique accepted")
 	}
 }
 
-// agilepagingTechnique is a local alias to keep the test table readable.
-type agilepagingTechnique = interface{ String() string }
-
 func TestParsePageSize(t *testing.T) {
-	for in, want := range map[string]string{"4K": "4K", "4kb": "4K", "2M": "2M", "2mb": "2M"} {
-		got, err := parsePageSize(in)
+	for in, want := range map[string]string{
+		"4K": "4K", "4kb": "4K", "2M": "2M", "2mb": "2M", "1g": "1G",
+	} {
+		got, err := agilepaging.ParsePageSize(in)
 		if err != nil {
-			t.Errorf("parsePageSize(%q): %v", in, err)
+			t.Errorf("ParsePageSize(%q): %v", in, err)
 			continue
 		}
 		if got.String() != want {
-			t.Errorf("parsePageSize(%q) = %v", in, got)
+			t.Errorf("ParsePageSize(%q) = %v", in, got)
 		}
 	}
-	if _, err := parsePageSize("1G"); err == nil {
-		t.Error("agilesim does not expose 1G; should reject")
+	if _, err := agilepaging.ParsePageSize("8M"); err == nil {
+		t.Error("bad page size accepted")
 	}
 }

@@ -33,11 +33,11 @@ type telemetryRun struct {
 // optionally, the walk-event ring) attached, prints the adaptation table,
 // and writes the requested export files.
 func runWithTelemetry(r telemetryRun) error {
-	mode, err := parseWalkerMode(r.technique)
+	mode, err := walker.ParseMode(r.technique)
 	if err != nil {
 		return err
 	}
-	size, err := parsePagetableSize(r.pageSize)
+	size, err := pagetable.ParseSize(r.pageSize)
 	if err != nil {
 		return err
 	}
@@ -99,30 +99,4 @@ func writeFile(path string, write func(io.Writer) error) error {
 	}
 	defer f.Close()
 	return write(f)
-}
-
-// parseWalkerMode/parsePagetableSize mirror the facade-level parsers but
-// produce the internal types the experiments layer takes.
-func parseWalkerMode(s string) (walker.Mode, error) {
-	switch strings.ToLower(s) {
-	case "native", "base", "b":
-		return walker.ModeNative, nil
-	case "nested", "n":
-		return walker.ModeNested, nil
-	case "shadow", "s":
-		return walker.ModeShadow, nil
-	case "agile", "a":
-		return walker.ModeAgile, nil
-	}
-	return 0, fmt.Errorf("unknown technique %q (native|nested|shadow|agile)", s)
-}
-
-func parsePagetableSize(s string) (pagetable.Size, error) {
-	switch strings.ToUpper(s) {
-	case "4K", "4KB":
-		return pagetable.Size4K, nil
-	case "2M", "2MB":
-		return pagetable.Size2M, nil
-	}
-	return 0, fmt.Errorf("unknown page size %q (4K|2M)", s)
 }

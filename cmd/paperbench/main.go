@@ -13,6 +13,7 @@
 //	paperbench -ablations            # §III-C / §IV design-choice ablations
 //	paperbench -validate canneal     # Table IV model vs direct simulation
 //	paperbench -metrics out.json     # adaptation-curve epoch telemetry
+//	paperbench -run mcf -technique shadow -pagesize 2M   # one sweep cell
 //	paperbench -all -parallel 8      # same results, 8 simulations at a time
 package main
 
@@ -27,9 +28,12 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"agilepaging/internal/cpu"
 	"agilepaging/internal/experiments"
+	"agilepaging/internal/pagetable"
 	"agilepaging/internal/sweep"
 	"agilepaging/internal/telemetry"
+	"agilepaging/internal/walker"
 	"agilepaging/internal/workload"
 )
 
@@ -56,7 +60,12 @@ type options struct {
 	metricsEpoch int
 	walkTrace    string
 
+	runWorkload string
+	technique   string
+	pageSize    string
+
 	streamCacheMB int64
+	machinePool   int
 }
 
 // parseArgs parses the paperbench command line (without the program name).
@@ -86,6 +95,10 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.metricsEpoch, "metrics-epoch", 2000, "telemetry sampling interval in accesses for -metrics")
 	fs.StringVar(&o.walkTrace, "walk-trace", "", "with -metrics: also write the last page walks as Chrome trace-event JSON to this file")
 	fs.Int64Var(&o.streamCacheMB, "stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
+	fs.IntVar(&o.machinePool, "machine-pool", cpu.DefaultMachinePoolCapacity, "idle simulated machines kept for reuse across sweep cells (0 disables pooling)")
+	fs.StringVar(&o.runWorkload, "run", "", "run one sweep cell: this workload under -technique and -pagesize")
+	fs.StringVar(&o.technique, "technique", "agile", "technique for -run (native | nested | shadow | agile)")
+	fs.StringVar(&o.pageSize, "pagesize", "4K", "page size for -run (4K | 2M | 1G)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -159,6 +172,7 @@ func main() {
 	}
 
 	applyStreamCacheBudget(opts.streamCacheMB)
+	cpu.SetMachinePoolCapacity(opts.machinePool)
 
 	stopProfiles, err := startProfiles(opts.cpuProfile, opts.memProfile)
 	if err != nil {
@@ -322,6 +336,12 @@ func main() {
 		})
 	}
 
+	if opts.runWorkload != "" {
+		run("Single cell ("+opts.runWorkload+")", func() error {
+			return runCell(opts)
+		})
+	}
+
 	if opts.metrics != "" {
 		run("Adaptation curve (Table I in time)", func() error {
 			var ring *telemetry.EventRing
@@ -353,9 +373,43 @@ func main() {
 	}
 
 	if !ran {
-		fmt.Fprintln(os.Stderr, "paperbench: nothing selected; pass -all, -table N, -figure N, -ablations, -shsp, -sensitivity, -validate W, or -metrics FILE")
+		fmt.Fprintln(os.Stderr, "paperbench: nothing selected; pass -all, -table N, -figure N, -ablations, -shsp, -sensitivity, -validate W, -run W, or -metrics FILE")
 		os.Exit(2)
 	}
+	if opts.progress {
+		hits, misses, retired, idle := cpu.MachinePoolStats()
+		fmt.Fprintf(os.Stderr, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
+	}
+}
+
+// runCell simulates one (workload, technique, page size) cell and prints
+// its report, the quick way to re-measure a single bar of Figure 5. The
+// -technique/-pagesize strings parse through the same walker.ParseMode /
+// pagetable.ParseSize parsers every tool shares.
+func runCell(opts options) error {
+	mode, err := walker.ParseMode(opts.technique)
+	if err != nil {
+		return err
+	}
+	size, err := pagetable.ParseSize(opts.pageSize)
+	if err != nil {
+		return err
+	}
+	o := experiments.DefaultOptions(mode, size)
+	o.Accesses = opts.accesses
+	o.Seed = opts.seed
+	rep, err := experiments.RunProfile(opts.runWorkload, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / %s pages / %s paging\n", opts.runWorkload, size, mode)
+	fmt.Printf("  walk overhead   %6.1f%%\n", 100*rep.WalkOverhead())
+	fmt.Printf("  VMM overhead    %6.1f%%\n", 100*rep.VMMOverhead())
+	fmt.Printf("  total overhead  %6.1f%%\n", 100*rep.TotalOverhead())
+	fmt.Printf("  TLB misses      %d (%.1f MPKI, %.2f refs/miss)\n",
+		rep.Machine.TLBMisses, rep.MPKI(), rep.AvgRefsPerMiss())
+	fmt.Printf("  VM exits        %d\n", rep.VMM.TotalTraps())
+	return nil
 }
 
 // applyStreamCacheBudget translates the -stream-cache MiB flag into the

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"agilepaging/internal/pagetable"
 	"agilepaging/internal/vmm"
@@ -51,6 +52,22 @@ func (p RevertPolicy) String() string {
 		return "dirty-scan"
 	}
 	return fmt.Sprintf("RevertPolicy(%d)", int(p))
+}
+
+// ParseRevertPolicy parses a policy name as written by
+// RevertPolicy.String, case insensitively, accepting "dirtyscan" and
+// "dirty" as aliases for the dirty-scan policy. It is the one parser every
+// flag and JSON decoder in the repository routes through.
+func ParseRevertPolicy(s string) (RevertPolicy, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return RevertNone, nil
+	case "reset":
+		return RevertReset, nil
+	case "dirty-scan", "dirtyscan", "dirty":
+		return RevertDirtyScan, nil
+	}
+	return 0, fmt.Errorf("unknown revert policy %q (none|reset|dirty-scan)", s)
 }
 
 // PolicyConfig parameterizes the agile manager.

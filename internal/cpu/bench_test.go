@@ -161,3 +161,51 @@ func TestAccessHitZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkMachineConstruct prices the construct-per-run lifecycle the
+// machine pool exists to avoid: a full New per sweep cell (memsim arena,
+// per-core TLB hierarchies, PWCs, walkers, VMM, guest OS).
+func BenchmarkMachineConstruct(b *testing.B) {
+	cfg := smallConfig(walker.ModeAgile, pagetable.Size4K)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachinePooledReacquire prices the construct-once/reset-many
+// replacement: release a machine that just ran a short workload and
+// reacquire its geometry, which resets it to New state. Steady state must
+// be allocation-free.
+func BenchmarkMachinePooledReacquire(b *testing.B) {
+	ResetMachinePool()
+	b.Cleanup(ResetMachinePool)
+	cfg := smallConfig(walker.ModeAgile, pagetable.Size4K)
+	m, err := AcquireMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := uint64(0x4000_0000)
+	ops := setupOps(base, 32<<12, pagetable.Size4K)
+	for i := uint64(0); i < 32; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + i<<12, Write: i%2 == 0})
+	}
+	run := func() {
+		for i := range ops {
+			if err := m.Exec(ops[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReleaseMachine(m)
+		if m, err = AcquireMachine(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

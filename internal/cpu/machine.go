@@ -85,6 +85,60 @@ type Config struct {
 	DisableL0Memo bool
 }
 
+// normalize applies the defaults New guarantees, in place. New and Reset
+// both store the normalized config, so Machine.Config() round-trips: feeding
+// it back to New (or Reset) yields an identical machine.
+func (cfg *Config) normalize() {
+	if cfg.PolicyTickOps <= 0 {
+		cfg.PolicyTickOps = 20_000
+	}
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.NTLBEntries <= 0 {
+		cfg.NTLBEntries = 32
+	}
+}
+
+// Geometry is the immutable skeleton of a machine: every Config field that
+// determines the shape or capacity of a structure built by New. Two configs
+// with equal geometry describe machines whose difference is run state and
+// cost accounting only, so one can be Reset into the other; differing
+// geometry requires a fresh New. The struct is comparable and is the
+// machine pool's key.
+type Geometry struct {
+	Technique     walker.Mode
+	PageSize      pagetable.Size
+	MemBytes      uint64
+	GuestRAMBytes uint64
+	TLB           tlb.Config
+	TLBScale      int
+	EnablePWC     bool
+	PWC           ptwc.Config
+	EnableNTLB    bool
+	NTLBEntries   int
+	Cores         int
+}
+
+// Geometry extracts the geometry of a config. Call on a normalized config
+// (Machine.Config() already is) for a canonical key.
+func (cfg Config) Geometry() Geometry {
+	cfg.normalize()
+	return Geometry{
+		Technique:     cfg.Technique,
+		PageSize:      cfg.PageSize,
+		MemBytes:      cfg.MemBytes,
+		GuestRAMBytes: cfg.GuestRAMBytes,
+		TLB:           cfg.TLB,
+		TLBScale:      cfg.TLBScale,
+		EnablePWC:     cfg.EnablePWC,
+		PWC:           cfg.PWC,
+		EnableNTLB:    cfg.EnableNTLB,
+		NTLBEntries:   cfg.NTLBEntries,
+		Cores:         cfg.Cores,
+	}
+}
+
 // DefaultConfig returns the baseline machine for a technique and page size:
 // Sandy-Bridge TLBs scaled 8× down (footprints are ~1000× down; the scale
 // keeps miss ratios in the published band), MMU caches on, no optional
@@ -199,12 +253,7 @@ type Machine struct {
 
 // New builds a machine from cfg.
 func New(cfg Config) (*Machine, error) {
-	if cfg.PolicyTickOps <= 0 {
-		cfg.PolicyTickOps = 20_000
-	}
-	if cfg.Cores < 1 {
-		cfg.Cores = 1
-	}
+	cfg.normalize()
 	m := &Machine{
 		cfg:      cfg,
 		Mem:      memsim.New(cfg.MemBytes),
@@ -218,11 +267,7 @@ func New(cfg Config) (*Machine, error) {
 			c.pwc = ptwc.New(cfg.PWC)
 		}
 		if cfg.EnableNTLB && cfg.Technique != walker.ModeNative {
-			entries := cfg.NTLBEntries
-			if entries <= 0 {
-				entries = 32
-			}
-			c.ntlb = ptwc.NewNestedTLB(entries, 4)
+			c.ntlb = ptwc.NewNestedTLB(cfg.NTLBEntries, 4)
 		}
 		c.walker = walker.New(m.Mem, c.pwc, c.ntlb)
 		m.cores = append(m.cores, c)
@@ -236,15 +281,7 @@ func New(cfg Config) (*Machine, error) {
 		m.OS = guest.New(nativePlatform{m})
 		return m, nil
 	}
-	vmCfg := vmm.Config{
-		Technique:             cfg.Technique,
-		RAMBytes:              cfg.GuestRAMBytes,
-		HostPageSize:          cfg.PageSize,
-		HardwareAD:            cfg.HardwareAD,
-		CtxSwitchCacheEntries: cfg.CtxSwitchCache,
-		Costs:                 cfg.TrapCosts,
-	}
-	vm, err := vmm.New(m.Mem, (*machineMMU)(m), 1, vmCfg)
+	vm, err := vmm.New(m.Mem, (*machineMMU)(m), 1, cfg.vmConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -253,8 +290,82 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// Config returns the machine configuration.
+// vmConfig derives the VM configuration embedded in a machine config.
+func (cfg Config) vmConfig() vmm.Config {
+	return vmm.Config{
+		Technique:             cfg.Technique,
+		RAMBytes:              cfg.GuestRAMBytes,
+		HostPageSize:          cfg.PageSize,
+		HardwareAD:            cfg.HardwareAD,
+		CtxSwitchCacheEntries: cfg.CtxSwitchCache,
+		Costs:                 cfg.TrapCosts,
+	}
+}
+
+// Config returns the machine configuration (normalized: defaults applied).
 func (m *Machine) Config() Config { return m.cfg }
+
+// ErrGeometryChange is returned by Reset when the requested configuration
+// differs from the machine's in a structural field; such changes require a
+// fresh New.
+var ErrGeometryChange = errors.New("cpu: config geometry differs; Reset cannot resize structures, use New")
+
+// Reset restores the machine to the pristine state New(cfg) would produce,
+// without releasing any backing capacity: memory frames recycle to the
+// allocator's high-water mark, TLB/PWC/nested-TLB arrays empty with their
+// LRU clocks rewound, and all guest, VMM, and policy state tears down. cfg
+// must match the machine's geometry (Config.Geometry) — non-structural
+// fields (cycle and trap cost models, §IV optimization toggles, policy
+// parameters) are adopted from cfg, which is what lets sensitivity sweeps
+// reuse pooled machines across cost-model perturbations.
+//
+// A reset machine is deterministically equivalent to a fresh one: frame
+// allocation order, replacement decisions, and policy state all replay
+// identically, so an identical op stream produces a bit-identical Report
+// (pinned by TestResetVsFreshEquivalence). Observers and telemetry are
+// detached; reattach per run. Reset performs no heap allocation.
+func (m *Machine) Reset(cfg Config) error {
+	cfg.normalize()
+	if cfg.Geometry() != m.cfg.Geometry() {
+		return ErrGeometryChange
+	}
+	m.cfg = cfg
+	m.Mem.Reset()
+	for _, c := range m.cores {
+		c.tlbs.Reset()
+		if c.pwc != nil {
+			c.pwc.Reset()
+		}
+		if c.ntlb != nil {
+			c.ntlb.Reset()
+		}
+		c.walker.Reset()
+		c.regs = walker.Regs{}
+		c.cur = nil
+		c.ctx = nil
+		c.l0 = l0Memo{}
+	}
+	clear(m.managers)
+	clear(m.shsp)
+	m.OS.Reset()
+	if m.VM != nil {
+		// After Mem.Reset the VM's fresh host-table root draws the same
+		// frame number vmm.New drew, keeping frame numbering bit-identical.
+		if err := m.VM.Reset(cfg.vmConfig()); err != nil {
+			return err
+		}
+	}
+	m.clock = 0
+	m.stats = Stats{}
+	m.refsHist.Reset()
+	m.missObs = nil
+	m.tel = nil
+	m.walkEvents = nil
+	m.sinceTickAccesses, m.sinceTickIdeal, m.sinceTickWalk = 0, 0, 0
+	m.lastTickTrapCycles = 0
+	m.lastTickFaults = 0
+	return nil
+}
 
 // Clock returns the simulated cycle count.
 func (m *Machine) Clock() uint64 { return m.clock }

@@ -134,11 +134,19 @@ func runScaled(prof workload.Profile, cfg cpu.Config, o Options) (cpu.Report, er
 		// shared address space), as on the paper's 24-vCPU machine.
 		cfg.Cores = prof.Threads
 	}
-	m, err := cpu.New(cfg)
+	// Sweeps revisit a handful of geometries thousands of times; acquiring
+	// from the machine pool replaces full stack construction with an
+	// allocation-free Reset on repeat visits (see internal/cpu/pool.go).
+	m, err := cpu.AcquireMachine(cfg)
 	if err != nil {
 		return cpu.Report{}, err
 	}
-	return runStream(m, prof, o)
+	rep, err := runStream(m, prof, o)
+	if err == nil {
+		// Only clean runs recycle; a failed run's machine state is suspect.
+		cpu.ReleaseMachine(m)
+	}
+	return rep, err
 }
 
 // runStream replays the shared op stream for (prof, o) on m: warmup ops,

@@ -107,6 +107,17 @@ func (o *OS) Stats() Stats { return o.stats }
 // ResetStats zeroes the counters.
 func (o *OS) ResetStats() { o.stats = Stats{} }
 
+// Reset tears down every process and restores the OS to its post-New
+// state. It does not free the processes' pages or page tables individually:
+// Reset is part of whole-machine recycling, where the backing Memory is
+// reset wholesale and per-page frees would be wasted work on frames already
+// reclaimed.
+func (o *OS) Reset() {
+	clear(o.procs)
+	o.current = nil
+	o.stats = Stats{}
+}
+
 // CreateProcess registers a new process. The first process created becomes
 // current.
 func (o *OS) CreateProcess(pid int, asid uint16) (*Process, error) {

@@ -282,6 +282,25 @@ func (m *Memory) WriteEntry(f Frame, idx int, val uint64) {
 	m.pool[m.tableIdx[f]-1][idx] = val
 }
 
+// Reset returns the memory to its pristine post-New state without
+// releasing any backing capacity: every frame is freed, the bump pointer
+// restarts at frame 1, and all arena slots become available for recycling.
+// Because allocation order after Reset replays exactly as after New (bump
+// from frame 1, empty free list), a reset machine hands out identical frame
+// numbers to an identical request sequence — the property the Reset-vs-
+// fresh equivalence suite pins.
+func (m *Memory) Reset() {
+	m.nextFrame = 1
+	m.freeList = m.freeList[:0]
+	clear(m.tableIdx)
+	clear(m.allocated)
+	m.allocCount = 0
+	m.poolFree = m.poolFree[:0]
+	for i := range m.pool {
+		m.poolFree = append(m.poolFree, int32(i))
+	}
+}
+
 // TableSnapshot returns a copy of the 512 entries of table frame f, for
 // tests and debugging.
 func (m *Memory) TableSnapshot(f Frame) [EntriesPerTable]uint64 {

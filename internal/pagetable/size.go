@@ -1,6 +1,9 @@
 package pagetable
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Size identifies a translation page size.
 type Size int
@@ -67,6 +70,21 @@ func (s Size) String() string {
 		return "1G"
 	}
 	return fmt.Sprintf("Size(%d)", int(s))
+}
+
+// ParseSize parses a page-size name as written by Size.String, case
+// insensitively, with the "KB"/"MB"/"GB" suffix forms. It is the one
+// parser every flag and JSON decoder in the repository routes through.
+func ParseSize(s string) (Size, error) {
+	switch strings.ToUpper(s) {
+	case "4K", "4KB":
+		return Size4K, nil
+	case "2M", "2MB":
+		return Size2M, nil
+	case "1G", "1GB":
+		return Size1G, nil
+	}
+	return 0, fmt.Errorf("unknown page size %q (4K|2M|1G)", s)
 }
 
 // IndexAt extracts the radix index for the given level (0 = root) from a

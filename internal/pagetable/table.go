@@ -495,6 +495,24 @@ func (t *Table) FreeEmpty() int {
 	return freed
 }
 
+// Reset discards every mapping and re-roots the table on a freshly
+// allocated page, restoring the state New left it in. The write hook is
+// retained (it is part of the table's wiring, not its run state). Callers
+// that reset the underlying Memory wholesale may skip per-page frees and
+// call Reset directly; the stale frames were already reclaimed.
+func (t *Table) Reset() error {
+	clear(t.levelOf)
+	clear(t.vaBaseOf)
+	root, err := t.space.AllocTablePage()
+	if err != nil {
+		return fmt.Errorf("pagetable: reallocating root: %w", err)
+	}
+	t.root = root
+	t.levelOf[root] = 0
+	t.vaBaseOf[root] = 0
+	return nil
+}
+
 // Destroy releases every table page including the root. The table must not
 // be used afterwards.
 func (t *Table) Destroy() {

@@ -51,3 +51,10 @@ func (n *NestedTLB) Stats() Stats { return n.stats }
 
 // ResetStats zeroes the counters.
 func (n *NestedTLB) ResetStats() { n.stats = Stats{} }
+
+// Reset restores the nested TLB to its post-construction state: array
+// emptied with its LRU clock rewound, statistics zeroed.
+func (n *NestedTLB) Reset() {
+	n.arr.reset()
+	n.stats = Stats{}
+}

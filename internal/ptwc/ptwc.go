@@ -110,6 +110,14 @@ func (a *pwcArray) invalidate(asid uint16, tag uint64) {
 	}
 }
 
+// reset empties the array and rewinds the LRU clock to its
+// post-construction state, so replacement decisions replay as on a fresh
+// array.
+func (a *pwcArray) reset() {
+	clear(a.lines)
+	a.clock = 0
+}
+
 func (a *pwcArray) flush(asid uint16, all bool) {
 	for i := range a.lines {
 		if a.lines[i].valid && (all || a.lines[i].asid == asid) {
@@ -212,3 +220,12 @@ func (p *PWC) Stats() Stats { return p.stats }
 
 // ResetStats zeroes the counters.
 func (p *PWC) ResetStats() { p.stats = Stats{} }
+
+// Reset restores the PWC to its post-construction state: all arrays
+// emptied with their LRU clocks rewound, statistics zeroed.
+func (p *PWC) Reset() {
+	for d := 0; d < 3; d++ {
+		p.arrays[d].reset()
+	}
+	p.stats = Stats{}
+}

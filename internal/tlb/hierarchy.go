@@ -201,6 +201,19 @@ func (h *Hierarchy) NoteRepeatL1Hit() {
 // ResetStats zeroes the counters without touching cache contents.
 func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
 
+// Reset restores the hierarchy to its post-construction state: every array
+// emptied with its LRU clock rewound, statistics zeroed. The invalidation
+// generation advances (it is monotonic for the hierarchy's lifetime), so
+// any caller-held memo tagged with an older generation is invalid by
+// construction — exactly as after a FlushAll.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.all {
+		c.reset()
+	}
+	h.stats = Stats{}
+	h.gen++
+}
+
 // Lookup probes the hierarchy for va in address space asid. fetch selects
 // the instruction side. An L2 hit refills the appropriate L1 array.
 func (h *Hierarchy) Lookup(asid uint16, va uint64, fetch bool) (Result, bool) {

@@ -161,6 +161,15 @@ func (c *setAssoc) flush(asid uint16, all bool, keepGlobal bool) {
 	}
 }
 
+// reset restores the cache to its post-construction state: every line
+// invalid and zeroed, the LRU clock at zero. Restoring the clock (not just
+// validity) makes replacement decisions after a reset replay exactly as on
+// a fresh cache.
+func (c *setAssoc) reset() {
+	clear(c.lines)
+	c.clock = 0
+}
+
 // entries reports the cache capacity.
 func (c *setAssoc) entries() int { return c.sets * c.ways }
 

@@ -103,6 +103,10 @@ type VM struct {
 // ErrGuestOOM is returned when the guest-physical address space is full.
 var ErrGuestOOM = errors.New("vmm: guest physical memory exhausted")
 
+// gpaBase is the first usable guest-physical address: guest page 0 stays
+// unmapped so a zero gPA can mean "no page".
+const gpaBase = 0x1000
+
 // New creates a VM backed by mem, with its guest-physical space starting at
 // a fixed base. The MMU hooks may be NopMMU for table-only tests.
 func New(mem *memsim.Memory, mmu MMU, id uint16, cfg Config) (*VM, error) {
@@ -113,7 +117,6 @@ func New(mem *memsim.Memory, mmu MMU, id uint16, cfg Config) (*VM, error) {
 	if err != nil {
 		return nil, err
 	}
-	const gpaBase = 0x1000 // leave guest page 0 unmapped
 	return &VM{
 		mem:      mem,
 		mmu:      mmu,
@@ -124,6 +127,32 @@ func New(mem *memsim.Memory, mmu MMU, id uint16, cfg Config) (*VM, error) {
 		gpaLimit: gpaBase + cfg.RAMBytes,
 		ctxs:     make(map[uint16]*Context),
 	}, nil
+}
+
+// Reset restores the VM to its post-New state under cfg, which may differ
+// from the construction config only in non-structural fields (cost model,
+// hardware A/D, context-switch cache size): all guest contexts and shadow
+// tables are dropped and the guest-physical allocator rewinds to its base.
+// The caller must have reset the backing Memory first — Reset does not free
+// the old host page table's frames individually, it re-roots a fresh one —
+// so the frame-allocation sequence after Reset replays exactly as after New.
+func (vm *VM) Reset(cfg Config) error {
+	if cfg.Technique != walker.ModeNested && cfg.Technique != walker.ModeShadow && cfg.Technique != walker.ModeAgile {
+		return fmt.Errorf("vmm: invalid technique %v", cfg.Technique)
+	}
+	vm.cfg = cfg
+	if err := vm.hpt.Reset(); err != nil {
+		return err
+	}
+	vm.gpaNext = gpaBase
+	vm.gpaLimit = gpaBase + cfg.RAMBytes
+	vm.gpaFree = vm.gpaFree[:0]
+	clear(vm.ctxs)
+	vm.current = nil
+	vm.ctxCache = vm.ctxCache[:0]
+	vm.observer = nil
+	vm.stats = Stats{}
+	return nil
 }
 
 // ID returns the VM identifier (nested-TLB tag).

@@ -13,6 +13,7 @@ package walker
 
 import (
 	"fmt"
+	"strings"
 
 	"agilepaging/internal/memsim"
 	"agilepaging/internal/pagetable"
@@ -43,6 +44,24 @@ func (m Mode) String() string {
 		return "agile"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a technique name as written by Mode.String, case
+// insensitively, with the single-letter and "base" aliases the CLI tools
+// have always taken. It is the one parser every flag and JSON decoder in
+// the repository routes through.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "native", "base", "b":
+		return ModeNative, nil
+	case "nested", "n":
+		return ModeNested, nil
+	case "shadow", "s":
+		return ModeShadow, nil
+	case "agile", "a":
+		return ModeAgile, nil
+	}
+	return 0, fmt.Errorf("unknown technique %q (native|nested|shadow|agile)", s)
 }
 
 // TableKind identifies which page-table structure a walk reference touched,
@@ -230,6 +249,17 @@ func (w *Walker) Stats() Stats { return w.stats }
 
 // ResetStats zeroes the counters.
 func (w *Walker) ResetStats() { w.stats = Stats{} }
+
+// Reset restores the walker to its post-construction state: counters
+// zeroed, recording off, scratch truncated. The scratch buffer's capacity
+// is retained — it is reused allocation-free by the next recorded walk.
+func (w *Walker) Reset() {
+	w.stats = Stats{}
+	w.record = false
+	w.scratch.refs = 0
+	w.scratch.hostRefs = 0
+	w.scratch.accesses = w.scratch.accesses[:0]
+}
 
 // PWC returns the walker's page walk cache (may be nil).
 func (w *Walker) PWC() *ptwc.PWC { return w.pwc }

@@ -149,14 +149,17 @@ func (s *Scenario) Run(cfg ScenarioConfig) (Result, error) {
 	mc.CtxSwitchCache = cfg.CtxSwitchCacheEntries
 	mc.EnablePWC = !cfg.DisableMMUCaches
 	mc.EnableNTLB = !cfg.DisableMMUCaches
-	m, err := cpu.New(mc)
+	m, err := cpu.AcquireMachine(mc)
 	if err != nil {
 		return Result{}, err
 	}
 	if err := m.Run(workload.NewFromOps("scenario", s.ops)); err != nil {
+		// A failed replay leaves the machine mid-scenario; let the GC have
+		// it rather than pool suspect state.
 		return Result{}, fmt.Errorf("agilepaging: scenario: %w", err)
 	}
 	rep := m.Report("scenario")
+	cpu.ReleaseMachine(m)
 	return Result{
 		Workload:         "scenario",
 		Technique:        cfg.Technique,
