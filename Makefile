@@ -48,7 +48,7 @@ bench-micro:
 		./internal/memsim ./internal/walker ./internal/tlb ./internal/cpu
 
 # bench-compare diffs the current tree's microbenchmarks against the
-# baseline recorded in BENCH_PR6.json (BENCH_PR4.json and BENCH_PR2.json
+# baseline recorded in BENCH_PR7.json (BENCH_PR6.json, BENCH_PR4.json and BENCH_PR2.json
 # stay in the tree as history; replay one with
 # `go run ./cmd/benchbaseline -file BENCH_PR4.json`).
 # Uses benchstat when installed; otherwise prints both result sets for
@@ -61,7 +61,7 @@ bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat /tmp/bench_baseline.txt /tmp/bench_current.txt; \
 	else \
-		echo "benchstat not installed; baseline (BENCH_PR6.json) vs current:"; \
+		echo "benchstat not installed; baseline (BENCH_PR7.json) vs current:"; \
 		echo "--- baseline ---"; grep -E '^Benchmark' /tmp/bench_baseline.txt; \
 		echo "--- current ---"; grep -E '^Benchmark' /tmp/bench_current.txt; \
 	fi

@@ -47,6 +47,15 @@ const (
 var machinePoolOff = flag.Bool("machine-pool-off", false,
 	"disable the machine pool (construct-per-run baseline for the sweep benchmarks)")
 
+// -stream-cold drops the shared stream cache before every sweep iteration,
+// so each one pays full workload generation — the cold path a fresh process
+// hits. The default (warm) keeps streams cached across iterations:
+//
+//	go test -bench Figure5Serial -benchmem -run '^$' .               # warm
+//	go test -bench Figure5Serial -benchmem -run '^$' . -stream-cold  # cold
+var streamCold = flag.Bool("stream-cold", false,
+	"reset the shared workload stream cache every sweep iteration (cold-generation baseline)")
+
 // applyPoolMode configures the machine pool per the -machine-pool-off flag
 // and starts the benchmark from a cold pool either way, so pooled runs
 // measure the steady state a sweep reaches rather than leftovers of the
@@ -145,6 +154,9 @@ func BenchmarkFigure5Parallel(b *testing.B) { benchFigure5Sweep(b, 0) }
 func benchFigure5Sweep(b *testing.B, workers int) {
 	applyPoolMode(b)
 	for i := 0; i < b.N; i++ {
+		if *streamCold {
+			workload.ResetStreamCache()
+		}
 		res, err := experiments.Figure5Sweep(context.Background(), sweep.Config{Workers: workers}, nil, benchAccesses, benchSeed)
 		if err != nil {
 			b.Fatal(err)

@@ -46,7 +46,9 @@ func main() {
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		streamCache  = flag.Int64("stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
+		streamDir    = flag.String("stream-cache-dir", "", "persist generated workload streams in this directory and reuse them across runs")
 		machinePool  = flag.Int("machine-pool", cpu.DefaultMachinePoolCapacity, "idle simulated machines kept for reuse across runs (0 disables pooling)")
+		progress     = flag.Bool("progress", false, "print stream-cache and machine-pool statistics to stderr on exit")
 	)
 	flag.Parse()
 
@@ -55,7 +57,21 @@ func main() {
 	} else {
 		workload.SetStreamCacheBudget(*streamCache << 20)
 	}
+	workload.SetStreamCacheDir(*streamDir)
 	cpu.SetMachinePoolCapacity(*machinePool)
+	if *progress {
+		defer func() {
+			hits, misses, retired, idle := cpu.MachinePoolStats()
+			fmt.Fprintf(os.Stderr, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
+			info := workload.StreamCacheInfo()
+			fmt.Fprintf(os.Stderr, "stream cache: %d hits, %d generated, %d streams, %.1f MiB packed\n",
+				info.Hits, info.Misses, info.Streams, float64(info.Bytes)/(1<<20))
+			if *streamDir != "" {
+				fmt.Fprintf(os.Stderr, "stream disk cache: %d loaded, %d generated, %d write errors\n",
+					info.DiskHits, info.DiskMisses, info.DiskErrors)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println(strings.Join(agilepaging.Workloads(), "\n"))

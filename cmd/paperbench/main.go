@@ -64,8 +64,9 @@ type options struct {
 	technique   string
 	pageSize    string
 
-	streamCacheMB int64
-	machinePool   int
+	streamCacheMB  int64
+	streamCacheDir string
+	machinePool    int
 }
 
 // parseArgs parses the paperbench command line (without the program name).
@@ -95,6 +96,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.metricsEpoch, "metrics-epoch", 2000, "telemetry sampling interval in accesses for -metrics")
 	fs.StringVar(&o.walkTrace, "walk-trace", "", "with -metrics: also write the last page walks as Chrome trace-event JSON to this file")
 	fs.Int64Var(&o.streamCacheMB, "stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
+	fs.StringVar(&o.streamCacheDir, "stream-cache-dir", "", "persist generated workload streams in this directory and reuse them across runs")
 	fs.IntVar(&o.machinePool, "machine-pool", cpu.DefaultMachinePoolCapacity, "idle simulated machines kept for reuse across sweep cells (0 disables pooling)")
 	fs.StringVar(&o.runWorkload, "run", "", "run one sweep cell: this workload under -technique and -pagesize")
 	fs.StringVar(&o.technique, "technique", "agile", "technique for -run (native | nested | shadow | agile)")
@@ -172,6 +174,7 @@ func main() {
 	}
 
 	applyStreamCacheBudget(opts.streamCacheMB)
+	workload.SetStreamCacheDir(opts.streamCacheDir)
 	cpu.SetMachinePoolCapacity(opts.machinePool)
 
 	stopProfiles, err := startProfiles(opts.cpuProfile, opts.memProfile)
@@ -379,7 +382,20 @@ func main() {
 	if opts.progress {
 		hits, misses, retired, idle := cpu.MachinePoolStats()
 		fmt.Fprintf(os.Stderr, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
+		fmt.Fprint(os.Stderr, formatStreamCacheStats(workload.StreamCacheInfo(), opts.streamCacheDir != ""))
 	}
+}
+
+// formatStreamCacheStats renders the -progress stream-cache summary line(s).
+// The disk line appears only when -stream-cache-dir was given.
+func formatStreamCacheStats(info workload.StreamCacheSnapshot, disk bool) string {
+	out := fmt.Sprintf("stream cache: %d hits, %d generated, %d streams, %.1f MiB packed\n",
+		info.Hits, info.Misses, info.Streams, float64(info.Bytes)/(1<<20))
+	if disk {
+		out += fmt.Sprintf("stream disk cache: %d loaded, %d generated, %d write errors\n",
+			info.DiskHits, info.DiskMisses, info.DiskErrors)
+	}
+	return out
 }
 
 // runCell simulates one (workload, technique, page size) cell and prints

@@ -484,6 +484,26 @@ func (m *Machine) RunOps(ops []workload.Op, base int) error {
 	return nil
 }
 
+// RunChunks drains a chunked op source — typically the Next method of a
+// workload.StreamReader replaying a packed shared stream — executing each
+// decoded batch through the RunOps batched fast path. base is the stream
+// index of the first op the source will yield; error labels stay
+// stream-absolute across chunks. Because the source may still be
+// generating its tail, execution of early chunks overlaps generation of
+// later ones.
+func (m *Machine) RunChunks(next func() ([]workload.Op, bool), base int) error {
+	for {
+		ops, ok := next()
+		if !ok {
+			return nil
+		}
+		if err := m.RunOps(ops, base); err != nil {
+			return err
+		}
+		base += len(ops)
+	}
+}
+
 // accessRun executes a run of same-core access ops. On error it returns
 // the run-relative index of the failing op.
 func (m *Machine) accessRun(coreIdx int, ops []workload.Op) (int, error) {

@@ -152,34 +152,80 @@ func runScaled(prof workload.Profile, cfg cpu.Config, o Options) (cpu.Report, er
 // runStream replays the shared op stream for (prof, o) on m: warmup ops,
 // measurement reset, measured ops, telemetry flush. Every technique and
 // sweep cell asking for the same (profile, page size, accesses, seed)
-// replays one cached immutable stream (workload.SharedStream), so stream
-// generation is paid once per sweep instead of once per run.
+// replays one cached packed stream (workload.SharedStream), so stream
+// generation is paid once per sweep instead of once per run. Consumption
+// is chunked: decoded chunks feed the machine's batched fast path through
+// one reusable buffer, and — because SharedStream publishes chunks as the
+// generator produces them — the head of a cold stream executes while its
+// tail is still generating. The warmup/measure split lands exactly after
+// the warm-th OpAccess, wherever in a chunk that falls, matching the
+// whole-slice AccessBoundary split this replaces (pinned by the golden
+// test).
 func runStream(m *cpu.Machine, prof workload.Profile, o Options) (cpu.Report, error) {
 	warm := warmupCount(o)
 	stream := workload.SharedStream(prof, o.PageSize, warm+o.Accesses, o.Seed)
-	ops := stream.Ops()
-	split := 0
-	if warm > 0 {
-		// ops[:split] executes exactly the warm first accesses (bursts
-		// included, matching the run loop this replaces).
-		split = stream.AccessBoundary(warm)
-	} else {
-		attachLogs(m, o)
-	}
-	if err := m.RunOps(ops[:split], 0); err != nil {
+	r := stream.Reader()
+	defer r.Close()
+	fail := func(err error) (cpu.Report, error) {
 		return cpu.Report{}, fmt.Errorf("experiments: %s/%v/%v: %w", prof.Name, o.Technique, o.PageSize, err)
 	}
-	if warm > 0 {
+	if warm <= 0 {
+		attachLogs(m, o)
+	}
+	base, pending := 0, warm
+	for pending > 0 {
+		ops, ok := r.Next()
+		if !ok {
+			// Stream shorter than the warmup window: everything above was
+			// warmup (the old split == Len() case).
+			break
+		}
+		idx, seen := splitAfterAccesses(ops, pending)
+		if seen < pending {
+			pending -= seen
+			if err := m.RunOps(ops, base); err != nil {
+				return fail(err)
+			}
+			base += len(ops)
+			continue
+		}
+		if err := m.RunOps(ops[:idx], base); err != nil {
+			return fail(err)
+		}
+		pending = 0
 		// End of warmup: measure steady state only. Logs attach here so
 		// traces cover the measured window.
 		m.ResetMeasurement()
 		attachLogs(m, o)
+		if err := m.RunOps(ops[idx:], base+idx); err != nil {
+			return fail(err)
+		}
+		base += len(ops)
 	}
-	if err := m.RunOps(ops[split:], split); err != nil {
-		return cpu.Report{}, fmt.Errorf("experiments: %s/%v/%v: %w", prof.Name, o.Technique, o.PageSize, err)
+	if pending > 0 {
+		m.ResetMeasurement()
+		attachLogs(m, o)
+	}
+	if err := m.RunChunks(r.Next, base); err != nil {
+		return fail(err)
 	}
 	m.FlushTelemetry()
 	return m.Report(prof.Name), nil
+}
+
+// splitAfterAccesses returns the index just past the n-th OpAccess in ops
+// and the number of accesses seen (seen == n when the boundary lies within
+// the chunk; otherwise idx == len(ops)).
+func splitAfterAccesses(ops []workload.Op, n int) (idx, seen int) {
+	for i := range ops {
+		if ops[i].Kind == workload.OpAccess {
+			seen++
+			if seen == n {
+				return i + 1, seen
+			}
+		}
+	}
+	return len(ops), seen
 }
 
 // RunOps simulates a fixed op stream (microbenchmarks).

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"agilepaging/internal/pagetable"
+)
+
+// Persistent on-disk stream cache.
+//
+// Opt-in via SetStreamCacheDir (the CLIs' -stream-cache-dir flag): packed
+// streams are written to <dir>/stream-<hash>.aps after generation and read
+// back on later runs, so repeated bench/CLI invocations skip generation
+// entirely. The filename hash covers every input that determines stream
+// content — the full Profile, page size, access count, seed, and the
+// packed encoder version — so a parameter or format change simply misses
+// and regenerates; nothing is ever reused across keys.
+//
+// Files are validated defensively: magic, version, and geometry checks, a
+// CRC-32C over the entire payload, and a full decode pass of every chunk
+// against its recorded op/access counts. Any mismatch — truncation, bit
+// rot, a stale or hostile file — silently falls back to regeneration
+// (removing the bad file) and never panics: a corrupt cache must cost one
+// generation, not a crash.
+
+// streamFileMagic heads every cache file. The trailing version byte pair
+// is redundant with the header's version field; it keeps utterly foreign
+// files from even reaching the parser.
+var streamFileMagic = [8]byte{'A', 'G', 'P', 'K', 'S', 'T', 'R', '1'}
+
+// streamCacheKey returns the content-addressed filename for a stream.
+func streamCacheKey(prof Profile, pageSize pagetable.Size, accesses int, seed int64) string {
+	h := sha256.New()
+	// Every Profile field, in declaration order. A new field changes this
+	// string only when set, but packedEncoderVersion is bumped on format
+	// changes and profile changes alter the fields themselves, so the hash
+	// tracks content exactly.
+	fmt.Fprintf(h, "v%d|%q|%d|%d|%g|%g|%t|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		packedEncoderVersion,
+		prof.Name, prof.FootprintBytes, prof.Pattern,
+		prof.ZipfS, prof.WriteRatio, prof.PrePopulate,
+		prof.Processes, prof.CtxSwitchEvery, prof.Threads,
+		prof.MmapChurnEvery, prof.ChurnRegionBytes, prof.ChurnRegions,
+		prof.CowEvery, prof.CowRegionBytes,
+		prof.ReclaimEvery, prof.ReclaimPages)
+	fmt.Fprintf(h, "|ps%d|n%d|s%d", pageSize, accesses, seed)
+	return fmt.Sprintf("stream-%x.aps", h.Sum(nil)[:16])
+}
+
+// encodeStreamFile serializes a completed packed stream:
+//
+//	magic[8] | u32 version | u32 chunkOps | u32 numChunks |
+//	u64 numOps | u64 accesses |
+//	numChunks × (u32 ops | u32 accesses | u32 dataLen | data) |
+//	u32 CRC-32C of everything before it
+func encodeStreamFile(ps *packedStream) []byte {
+	buf := make([]byte, 0, 40+ps.bytes+int64(len(ps.chunks))*12)
+	buf = append(buf, streamFileMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, packedEncoderVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, PackedChunkOps)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ps.chunks)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ps.numOps))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ps.accesses))
+	for _, ch := range ps.chunks {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ch.ops))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ch.accesses))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ch.data)))
+		buf = append(buf, ch.data...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return buf
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// decodeStreamFile parses and fully validates a cache file, returning the
+// chunk set ready to publish. Every byte is covered by the checksum and
+// every chunk is decoded once against its recorded counts, so a stream
+// accepted here can never fail to decode during replay.
+func decodeStreamFile(data []byte) (*packedStream, error) {
+	const header = 8 + 4 + 4 + 4 + 8 + 8
+	if len(data) < header+4 {
+		return nil, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if [8]byte(data[:8]) != streamFileMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != packedEncoderVersion {
+		return nil, fmt.Errorf("encoder version %d, want %d", version, packedEncoderVersion)
+	}
+	if chunkOps := binary.LittleEndian.Uint32(data[12:]); chunkOps != PackedChunkOps {
+		return nil, fmt.Errorf("chunk geometry %d, want %d", chunkOps, PackedChunkOps)
+	}
+	numChunks := int(binary.LittleEndian.Uint32(data[16:]))
+	numOps := int(binary.LittleEndian.Uint64(data[20:]))
+	accesses := int(binary.LittleEndian.Uint64(data[28:]))
+
+	ps := newPackedStream()
+	buf := chunkBufPool.Get().(*[PackedChunkOps]Op)
+	defer chunkBufPool.Put(buf)
+	off := header
+	var gotOps, gotAccesses int
+	for c := 0; c < numChunks; c++ {
+		if off+12 > len(body) {
+			return nil, fmt.Errorf("truncated chunk %d header", c)
+		}
+		ops := int(binary.LittleEndian.Uint32(body[off:]))
+		acc := int(binary.LittleEndian.Uint32(body[off+4:]))
+		dataLen := int(binary.LittleEndian.Uint32(body[off+8:]))
+		off += 12
+		if dataLen < 0 || off+dataLen > len(body) {
+			return nil, fmt.Errorf("truncated chunk %d body", c)
+		}
+		chunk := packedChunk{data: body[off : off+dataLen : off+dataLen], ops: ops, accesses: acc}
+		off += dataLen
+		decoded, err := decodeChunkInto(chunk.data, buf, ops)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", c, err)
+		}
+		n := 0
+		for i := range decoded {
+			if decoded[i].Kind == OpAccess {
+				n++
+			}
+		}
+		if n != acc {
+			return nil, fmt.Errorf("chunk %d access count %d, recorded %d", c, n, acc)
+		}
+		gotOps += ops
+		gotAccesses += acc
+		ps.chunks = append(ps.chunks, chunk)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%d trailing bytes", len(body)-off)
+	}
+	if gotOps != numOps || gotAccesses != accesses {
+		return nil, fmt.Errorf("totals %d ops/%d accesses, header says %d/%d", gotOps, gotAccesses, numOps, accesses)
+	}
+	ps.numOps = numOps
+	ps.accesses = accesses
+	for _, ch := range ps.chunks {
+		ps.bytes += int64(len(ch.data))
+	}
+	return ps, nil
+}
+
+// loadStreamFromDisk tries to satisfy a stream from the disk cache,
+// publishing every chunk into ps at once on success (the caller marks the
+// stream finished). On any validation failure the stale file is removed so
+// the regenerated stream replaces it.
+func loadStreamFromDisk(dir, key string, ps *packedStream) bool {
+	path := filepath.Join(dir, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	loaded, err := decodeStreamFile(data)
+	if err != nil {
+		os.Remove(path)
+		return false
+	}
+	ps.mu.Lock()
+	ps.chunks = loaded.chunks
+	ps.numOps = loaded.numOps
+	ps.accesses = loaded.accesses
+	ps.bytes = loaded.bytes
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	return true
+}
+
+// writeStreamToDisk persists a completed stream atomically (temp file +
+// rename, so a concurrent or killed writer can never leave a torn file at
+// the final path). Failures are reported to the caller for stats but are
+// otherwise silent: the disk cache is an optimization, not a dependency.
+func writeStreamToDisk(dir, key string, ps *packedStream) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	data := encodeStreamFile(ps)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"agilepaging/internal/pagetable"
+)
+
+// diskStream requests a stream with the disk cache rooted at dir and waits
+// for generation (and therefore the cache-file write) to complete.
+func diskStream(t *testing.T, dir string, seed int64) *Stream {
+	t.Helper()
+	freshCache(t, DefaultStreamCacheBytes)
+	SetStreamCacheDir(dir)
+	s := SharedStream(streamProfile("disk"), pagetable.Size4K, 5000, seed)
+	s.PackedBytes()
+	return s
+}
+
+// cacheFile returns the single stream file in dir.
+func cacheFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "stream-*.aps"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("cache files in %s: %v (err %v), want exactly 1", dir, matches, err)
+	}
+	return matches[0]
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cold := diskStream(t, dir, 7)
+	want := cold.Ops()
+	if info := StreamCacheInfo(); info.DiskMisses != 1 || info.DiskHits != 0 {
+		t.Fatalf("cold run disk stats %+v, want 1 miss / 0 hits", info)
+	}
+	path := cacheFile(t, dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= int64(len(want))*64 {
+		t.Errorf("cache file %d bytes for %d ops — not packed?", fi.Size(), len(want))
+	}
+
+	// Warm: a fresh in-memory cache must load from disk, not regenerate,
+	// and produce the identical stream.
+	warm := diskStream(t, dir, 7)
+	if info := StreamCacheInfo(); info.DiskHits != 1 || info.DiskMisses != 0 {
+		t.Fatalf("warm run disk stats %+v, want 1 hit / 0 misses", info)
+	}
+	if got := warm.Ops(); !reflect.DeepEqual(want, got) {
+		t.Fatal("disk-loaded stream differs from generated stream")
+	}
+}
+
+// corruptAndReload corrupts the warm cache file with mutate, re-requests the
+// stream, and asserts silent regeneration: correct ops, a disk miss, and a
+// fresh valid file left behind.
+func corruptAndReload(t *testing.T, mutate func(t *testing.T, path string)) {
+	t.Helper()
+	dir := t.TempDir()
+	want := diskStream(t, dir, 3).Ops()
+	path := cacheFile(t, dir)
+	mutate(t, path)
+
+	got := diskStream(t, dir, 3)
+	if ops := got.Ops(); !reflect.DeepEqual(want, ops) {
+		t.Fatal("regenerated stream differs from original")
+	}
+	info := StreamCacheInfo()
+	if info.DiskHits != 0 || info.DiskMisses != 1 {
+		t.Fatalf("disk stats after corruption %+v, want 0 hits / 1 miss (regenerated)", info)
+	}
+	// The bad file must have been replaced by a valid one.
+	data, err := os.ReadFile(cacheFile(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeStreamFile(data); err != nil {
+		t.Fatalf("rewritten cache file invalid: %v", err)
+	}
+}
+
+func TestDiskCacheTruncated(t *testing.T) {
+	corruptAndReload(t, func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiskCacheBadChecksum(t *testing.T) {
+	corruptAndReload(t, func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40 // flip one payload bit
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiskCacheStaleVersion(t *testing.T) {
+	corruptAndReload(t, func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Patch the header version and recompute the CRC, so the file is
+		// internally consistent but from a "different" encoder.
+		binary.LittleEndian.PutUint32(data[8:], packedEncoderVersion+1)
+		body := data[:len(data)-4]
+		binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(body, crcTable))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiskCacheForgedCounts(t *testing.T) {
+	corruptAndReload(t, func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inflate the first chunk's recorded op count (offset 36 = header)
+		// and fix up the CRC: the per-chunk decode validation must catch it.
+		ops := binary.LittleEndian.Uint32(data[36:])
+		binary.LittleEndian.PutUint32(data[36:], ops+1)
+		body := data[:len(data)-4]
+		binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(body, crcTable))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiskCacheGarbageFile(t *testing.T) {
+	corruptAndReload(t, func(t *testing.T, path string) {
+		if err := os.WriteFile(path, []byte("not a stream file at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDiskCacheKeySensitivity pins that every keyed parameter lands in a
+// distinct file.
+func TestDiskCacheKeySensitivity(t *testing.T) {
+	prof := streamProfile("keys")
+	base := streamCacheKey(prof, pagetable.Size4K, 1000, 1)
+	altProf := prof
+	altProf.ZipfS = 1.2
+	for name, other := range map[string]string{
+		"page size": streamCacheKey(prof, pagetable.Size2M, 1000, 1),
+		"accesses":  streamCacheKey(prof, pagetable.Size4K, 1001, 1),
+		"seed":      streamCacheKey(prof, pagetable.Size4K, 1000, 2),
+		"profile":   streamCacheKey(altProf, pagetable.Size4K, 1000, 1),
+	} {
+		if other == base {
+			t.Errorf("%s change did not change the cache key", name)
+		}
+	}
+	if again := streamCacheKey(prof, pagetable.Size4K, 1000, 1); again != base {
+		t.Error("cache key not deterministic")
+	}
+}
+
+// TestDiskCacheUnwritableDir pins that a failing write is counted but does
+// not break the run.
+func TestDiskCacheUnwritableDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sub")
+	if err := os.MkdirAll(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := os.CreateTemp(dir, "probe"); err == nil {
+		// Running as root or on a permissive FS: mode bits don't bite.
+		f.Close()
+		t.Skip("directory writable despite 0555")
+	}
+	freshCache(t, DefaultStreamCacheBytes)
+	SetStreamCacheDir(dir)
+	s := SharedStream(streamProfile("rofs"), pagetable.Size4K, 1000, 1)
+	if s.Len() == 0 {
+		t.Fatal("stream empty")
+	}
+	if info := StreamCacheInfo(); info.DiskErrors != 1 {
+		t.Errorf("disk errors = %d, want 1", info.DiskErrors)
+	}
+}

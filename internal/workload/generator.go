@@ -121,6 +121,28 @@ func (g *Synthetic) Name() string { return g.prof.Name }
 // Reset implements Generator.
 func (g *Synthetic) Reset() { g.init() }
 
+// SizeHint implements Sizer: the setup ops plus the steady-phase accesses
+// plus an upper-bound estimate of every periodic burst. Bursts gated on
+// the current PID (COW) or that stop early are overestimated, never
+// underestimated, so Collect allocates once.
+func (g *Synthetic) SizeHint() int {
+	p := g.prof
+	n := g.accesses + p.Processes*3 + p.Threads + 3
+	if p.MmapChurnEvery > 0 {
+		n += g.accesses / p.MmapChurnEvery * (2 + int(p.ChurnRegionBytes/4096))
+	}
+	if p.CowEvery > 0 && p.CowRegionBytes > 0 {
+		n += g.accesses / p.CowEvery * (1 + int(p.CowRegionBytes/g.pageSize.Bytes()))
+	}
+	if p.ReclaimEvery > 0 {
+		n += g.accesses / p.ReclaimEvery
+	}
+	if p.CtxSwitchEvery > 0 {
+		n += g.accesses / p.CtxSwitchEvery
+	}
+	return n
+}
+
 // mainBase places each process's footprint in a distinct 2 TiB slice.
 func (g *Synthetic) mainBase(pid int) uint64 { return uint64(pid+1) << 41 }
 
@@ -245,6 +267,9 @@ func (f *FromOps) Next() (Op, bool) {
 
 // Reset implements Generator.
 func (f *FromOps) Reset() { f.i = 0 }
+
+// SizeHint implements Sizer (exact for a fixed list).
+func (f *FromOps) SizeHint() int { return len(f.ops) }
 
 // Pos reports how many ops have been consumed so far.
 func (f *FromOps) Pos() int { return f.i }

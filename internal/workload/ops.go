@@ -90,9 +90,29 @@ type Generator interface {
 	Reset()
 }
 
-// Collect drains up to limit ops from g (limit <= 0 means all).
+// Sizer is an optional Generator extension reporting the expected total
+// op count, so collectors can pre-size buffers instead of growing them by
+// repeated append (the dominant cold-generation allocation cost before
+// streams were packed).
+type Sizer interface {
+	// SizeHint returns an estimate (ideally an upper bound) of the number
+	// of ops the generator will produce. It must not consume the stream.
+	SizeHint() int
+}
+
+// Collect drains up to limit ops from g (limit <= 0 means all). When g
+// implements Sizer the output is allocated once at the hinted capacity.
 func Collect(g Generator, limit int) []Op {
 	var out []Op
+	if s, ok := g.(Sizer); ok {
+		hint := s.SizeHint()
+		if limit > 0 && limit < hint {
+			hint = limit
+		}
+		if hint > 0 {
+			out = make([]Op, 0, hint)
+		}
+	}
 	for {
 		op, ok := g.Next()
 		if !ok {

@@ -2,66 +2,96 @@ package workload
 
 import (
 	"sync"
-	"unsafe"
 
 	"agilepaging/internal/pagetable"
 )
 
-// Stream is one fully-generated workload op stream, immutable after
-// construction and shared freely across concurrent runs. Every technique of
+// Stream is one generated workload op stream, stored packed (see
+// packed.go) and shared freely across concurrent runs. Every technique of
 // a Compare or Figure 5 sweep replays the same (profile, page size,
-// accesses, seed) stream, so generating it once removes the per-run RNG and
-// FIFO cost that used to be paid N×M times (N techniques × M sweep cells).
+// accesses, seed) stream, so generating it once removes the per-run RNG
+// and FIFO cost that used to be paid N×M times (N techniques × M sweep
+// cells).
 //
-// Concurrency contract: Ops returns the backing slice without copying;
-// callers must treat it as read-only. All methods are safe for concurrent
-// use.
+// Generation is pipelined: SharedStream returns immediately and the
+// stream's chunks are published as they are encoded, so a Reader can start
+// replaying the head of the stream while the tail is still generating.
+// Late arrivals attach to the already-published chunks. Methods that need
+// stream totals (Len, Accesses, Ops, AccessBoundary) block until
+// generation completes.
+//
+// Concurrency contract: all methods are safe for concurrent use, but each
+// consumer must take its own Reader.
 type Stream struct {
-	name     string
-	ops      []Op
-	accesses int // number of OpAccess ops in ops
+	name string
+	ps   *packedStream
 
 	mu         sync.Mutex
 	boundaries map[int]int // memoized AccessBoundary results
 }
 
-// newStream wraps a generated op list.
-func newStream(name string, ops []Op) *Stream {
-	s := &Stream{name: name, ops: ops}
-	for i := range ops {
-		if ops[i].Kind == OpAccess {
-			s.accesses++
-		}
-	}
-	return s
-}
-
 // Name identifies the workload the stream was generated from.
 func (s *Stream) Name() string { return s.name }
 
-// Ops returns the full op list. The slice is shared: read-only.
-func (s *Stream) Ops() []Op { return s.ops }
+// Reader returns a fresh chunk cursor over the stream. The caller should
+// Close it when done to recycle its decode buffer.
+func (s *Stream) Reader() *StreamReader { return &StreamReader{ps: s.ps} }
 
-// Len reports the total op count.
-func (s *Stream) Len() int { return len(s.ops) }
+// Len reports the total op count, blocking until generation completes.
+func (s *Stream) Len() int {
+	s.ps.waitDone()
+	return s.ps.numOps
+}
 
 // Accesses reports the number of OpAccess ops in the stream (steady-phase
-// plus burst accesses — the count run drivers split warmup windows on).
-func (s *Stream) Accesses() int { return s.accesses }
+// plus burst accesses — the count run drivers split warmup windows on),
+// blocking until generation completes.
+func (s *Stream) Accesses() int {
+	s.ps.waitDone()
+	return s.ps.accesses
+}
 
-// Replay returns a fresh cursor over the stream for Generator consumers.
-func (s *Stream) Replay() *FromOps { return NewFromOps(s.name, s.ops) }
+// PackedBytes reports the encoded in-memory footprint of the stream's
+// chunks (the quantity the cache budget is charged with), blocking until
+// generation completes.
+func (s *Stream) PackedBytes() int64 {
+	s.ps.waitDone()
+	return s.ps.bytes
+}
 
-// AccessBoundary returns the index just past the n-th OpAccess op (1-based),
-// so ops[:boundary] executes exactly n accesses — the warmup/measure split.
-// n <= 0 returns 0; n beyond the stream returns Len(). Results are memoized
-// because sweeps ask for the same split on every technique.
+// Ops decodes the full op list into a fresh slice. It exists for tests and
+// offline tooling: replay paths should consume chunks through Reader,
+// which never materializes the 64-byte-per-op form.
+func (s *Stream) Ops() []Op {
+	s.ps.waitDone()
+	out := make([]Op, 0, s.ps.numOps)
+	r := s.Reader()
+	defer r.Close()
+	for {
+		ops, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ops...)
+	}
+}
+
+// Replay returns a fresh cursor over the materialized stream for Generator
+// consumers (tests; replay paths should use Reader).
+func (s *Stream) Replay() *FromOps { return NewFromOps(s.name, s.Ops()) }
+
+// AccessBoundary returns the index just past the n-th OpAccess op
+// (1-based), so ops[:boundary] executes exactly n accesses — the
+// warmup/measure split. n <= 0 returns 0; n beyond the stream returns
+// Len(). Results are memoized because sweeps ask for the same split on
+// every technique.
 func (s *Stream) AccessBoundary(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	if n >= s.accesses {
-		return len(s.ops)
+	s.ps.waitDone()
+	if n >= s.ps.accesses {
+		return s.ps.numOps
 	}
 	s.mu.Lock()
 	if b, ok := s.boundaries[n]; ok {
@@ -69,16 +99,33 @@ func (s *Stream) AccessBoundary(n int) int {
 		return b
 	}
 	s.mu.Unlock()
-	seen := 0
-	boundary := len(s.ops)
-	for i := range s.ops {
-		if s.ops[i].Kind == OpAccess {
-			seen++
-			if seen == n {
-				boundary = i + 1
-				break
+
+	// Walk chunk metadata to the chunk containing the n-th access, then
+	// decode just that chunk to pin the exact op index.
+	boundary := s.ps.numOps
+	base, seen := 0, 0
+	for i := range s.ps.chunks {
+		ch := &s.ps.chunks[i]
+		if seen+ch.accesses >= n {
+			buf := chunkBufPool.Get().(*[PackedChunkOps]Op)
+			ops, err := decodeChunkInto(ch.data, buf, ch.ops)
+			if err != nil {
+				panic("workload: packed chunk failed to decode: " + err.Error())
 			}
+			for j := range ops {
+				if ops[j].Kind == OpAccess {
+					seen++
+					if seen == n {
+						boundary = base + j + 1
+						break
+					}
+				}
+			}
+			chunkBufPool.Put(buf)
+			break
 		}
+		seen += ch.accesses
+		base += ch.ops
 	}
 	s.mu.Lock()
 	if s.boundaries == nil {
@@ -99,46 +146,76 @@ type streamKey struct {
 	seed     int64
 }
 
-// streamEntry is one cache slot. The sync.Once dedupes concurrent
-// generation of the same key without holding the cache lock across the
-// (milliseconds-long) generation itself.
+// streamEntry is one cache slot. bytes stays 0 until generation completes
+// and the entry is charged against the budget; eviction skips uncharged
+// entries (their size is unknown and a waiter holds a reference anyway).
 type streamEntry struct {
-	once    sync.Once
 	s       *Stream
 	bytes   int64
 	lastUse uint64
 }
 
-// opBytes is the in-memory footprint of one op, used for cache accounting.
-const opBytes = int64(unsafe.Sizeof(Op{}))
+// streamEntryOverhead approximates the fixed per-entry cost (Stream,
+// packedStream, chunk headers) added to the encoded bytes when charging
+// the budget.
+const streamEntryOverhead = 512
 
-// DefaultStreamCacheBytes bounds the shared stream cache: a full Figure 5
-// sweep at the benchmark scale (8 workloads × 2 page sizes × 180k-access
-// streams) fits with room to spare; larger sweeps evict least-recently-used
-// streams and regenerate on demand.
+// DefaultStreamCacheBytes bounds the shared stream cache. Packed encoding
+// stores a stream in a few bytes per op instead of 64, so this budget now
+// retains on the order of ten full Figure 5 sweeps at the benchmark scale;
+// larger sweeps evict least-recently-used streams and regenerate on
+// demand.
 const DefaultStreamCacheBytes = 256 << 20
 
 // streamCache is the process-wide shared stream cache.
 var streamCache = struct {
-	mu      sync.Mutex
-	entries map[streamKey]*streamEntry
-	clock   uint64
-	bytes   int64
-	budget  int64
-	hits    uint64
-	misses  uint64
+	mu         sync.Mutex
+	entries    map[streamKey]*streamEntry
+	clock      uint64
+	bytes      int64
+	budget     int64
+	dir        string // disk-cache directory ("" = disabled)
+	hits       uint64
+	misses     uint64
+	diskHits   uint64
+	diskMisses uint64
+	diskErrs   uint64
 }{
 	entries: make(map[streamKey]*streamEntry),
 	budget:  DefaultStreamCacheBytes,
 }
 
-// StreamCacheStats reports cache effectiveness and current footprint.
-// A hit means the requested stream was already generated (or being
-// generated) when asked for.
+// StreamCacheSnapshot is a point-in-time copy of the stream cache's
+// counters. Hits/Misses count in-memory lookups (a hit means the stream
+// was already generated, or generating, when asked for). DiskHits counts
+// misses satisfied by a valid -stream-cache-dir file instead of
+// generation; DiskMisses counts misses that generated (no usable file);
+// DiskErrors counts failed cache-file writes. Bytes/Streams describe the
+// current packed in-memory footprint.
+type StreamCacheSnapshot struct {
+	Hits, Misses                     uint64
+	DiskHits, DiskMisses, DiskErrors uint64
+	Bytes                            int64
+	Streams                          int
+}
+
+// StreamCacheInfo reports cache effectiveness and current footprint.
+func StreamCacheInfo() StreamCacheSnapshot {
+	c := &streamCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return StreamCacheSnapshot{
+		Hits: c.hits, Misses: c.misses,
+		DiskHits: c.diskHits, DiskMisses: c.diskMisses, DiskErrors: c.diskErrs,
+		Bytes: c.bytes, Streams: len(c.entries),
+	}
+}
+
+// StreamCacheStats reports the in-memory counters (see StreamCacheInfo for
+// the full snapshot including the disk cache).
 func StreamCacheStats() (hits, misses uint64, bytes int64) {
-	streamCache.mu.Lock()
-	defer streamCache.mu.Unlock()
-	return streamCache.hits, streamCache.misses, streamCache.bytes
+	info := StreamCacheInfo()
+	return info.Hits, info.Misses, info.Bytes
 }
 
 // SetStreamCacheBudget sets the cache's byte budget. budget == 0 disables
@@ -151,21 +228,34 @@ func SetStreamCacheBudget(budget int64) {
 	streamCache.mu.Unlock()
 }
 
-// ResetStreamCache drops every cached stream and zeroes the statistics
-// (tests and memory-sensitive callers).
-func ResetStreamCache() {
+// SetStreamCacheDir sets the persistent stream-cache directory. When
+// non-empty, generated streams are written there and later SharedStream
+// misses are satisfied from valid files instead of regenerating. "" (the
+// default) disables persistence.
+func SetStreamCacheDir(dir string) {
 	streamCache.mu.Lock()
-	streamCache.entries = make(map[streamKey]*streamEntry)
-	streamCache.bytes = 0
-	streamCache.hits = 0
-	streamCache.misses = 0
+	streamCache.dir = dir
 	streamCache.mu.Unlock()
 }
 
-// evictLocked drops generated streams, least recently used first, until the
-// cache fits its budget. keep, if non-nil, is never evicted (the entry the
-// caller is about to return). Entries still generating (s == nil) are
-// skipped: their size is unknown and a waiter holds a reference anyway.
+// ResetStreamCache drops every cached stream and rewinds all cache state —
+// statistics and the LRU clock included — so cache behaviour after a reset
+// is exactly that of a fresh process (tests and memory-sensitive callers).
+func ResetStreamCache() {
+	c := &streamCache
+	c.mu.Lock()
+	c.entries = make(map[streamKey]*streamEntry)
+	c.clock = 0
+	c.bytes = 0
+	c.hits, c.misses = 0, 0
+	c.diskHits, c.diskMisses, c.diskErrs = 0, 0, 0
+	c.mu.Unlock()
+}
+
+// evictLocked drops generated streams, least recently used first, until
+// the cache fits its budget. keep, if non-nil, is never evicted (the entry
+// the caller is about to return). Uncharged entries (bytes == 0, still
+// generating) are skipped.
 func evictLocked(keep *streamEntry) {
 	c := &streamCache
 	if c.budget < 0 {
@@ -175,7 +265,7 @@ func evictLocked(keep *streamEntry) {
 		var victimKey streamKey
 		var victim *streamEntry
 		for k, e := range c.entries {
-			if e == keep || e.s == nil {
+			if e == keep || e.bytes == 0 {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {
@@ -191,11 +281,12 @@ func evictLocked(keep *streamEntry) {
 }
 
 // SharedStream returns the cached op stream for (prof, pageSize, accesses,
-// seed), generating it once on first use. Identical parameters always
-// return the same *Stream until it is evicted, so N techniques × M sweep
-// cells replaying the same workload share one generation and one backing
-// array. Safe for concurrent use; concurrent requests for the same key
-// generate once and share the result.
+// seed), starting pipelined generation on first use. Identical parameters
+// always return the same *Stream until it is evicted, so N techniques × M
+// sweep cells replaying the same workload share one generation and one
+// packed backing store. The returned stream may still be generating:
+// Reader consumers replay published chunks immediately and block only on
+// the unpublished tail. Safe for concurrent use.
 func SharedStream(prof Profile, pageSize pagetable.Size, accesses int, seed int64) *Stream {
 	// Normalize like New does so trivially-different Profiles (Processes 0
 	// versus 1) share an entry.
@@ -212,31 +303,73 @@ func SharedStream(prof Profile, pageSize pagetable.Size, accesses int, seed int6
 	if c.budget == 0 {
 		c.misses++
 		c.mu.Unlock()
-		return newStream(prof.Name, Collect(New(prof, pageSize, accesses, seed), -1))
+		// Sharing disabled: generate a private stream synchronously (this
+		// is a debugging mode; pipelining matters only for shared use).
+		s := &Stream{name: prof.Name, ps: newPackedStream()}
+		s.ps.encodeAll(New(prof, pageSize, accesses, seed))
+		return s
 	}
 	e, ok := c.entries[key]
 	if ok {
 		c.hits++
 	} else {
 		c.misses++
-		e = &streamEntry{}
+		e = &streamEntry{s: &Stream{name: prof.Name, ps: newPackedStream()}}
 		c.entries[key] = e
+		dir := c.dir
+		go generateEntry(e, key, dir)
 	}
 	c.clock++
 	e.lastUse = c.clock
 	c.mu.Unlock()
-
-	e.once.Do(func() {
-		e.s = newStream(prof.Name, Collect(New(prof, pageSize, accesses, seed), -1))
-		e.bytes = int64(len(e.s.ops))*opBytes + int64(unsafe.Sizeof(Stream{}))
-		c.mu.Lock()
-		// The entry may have been evicted (or the cache reset) while we
-		// generated; only charge entries still in the map.
-		if c.entries[key] == e {
-			c.bytes += e.bytes
-			evictLocked(e)
-		}
-		c.mu.Unlock()
-	})
 	return e.s
+}
+
+// generateEntry fills e's stream — from the disk cache when possible,
+// otherwise by running the generator with chunks published as encoded —
+// charges the completed size against the in-memory budget, and only then
+// marks the stream done. Anyone who has observed the stream complete
+// (Len, Ops, a Reader reaching EOF) therefore also observes consistent
+// cache statistics and an on-disk cache file, with no window in between.
+func generateEntry(e *streamEntry, key streamKey, dir string) {
+	c := &streamCache
+	ps := e.s.ps
+	fromDisk := false
+	diskKey := ""
+	if dir != "" {
+		diskKey = streamCacheKey(key.prof, key.pageSize, key.accesses, key.seed)
+		fromDisk = loadStreamFromDisk(dir, diskKey, ps)
+	}
+	diskErr := false
+	if !fromDisk {
+		ps.encodeChunks(New(key.prof, key.pageSize, key.accesses, key.seed))
+		if dir != "" {
+			// Persist before finish: readers are still draining the
+			// published chunks, so the write overlaps the first replay
+			// rather than delaying it.
+			diskErr = writeStreamToDisk(dir, diskKey, ps) != nil
+		}
+	}
+
+	size := ps.bytes + int64(len(ps.chunks))*32 + streamEntryOverhead
+	c.mu.Lock()
+	if dir != "" {
+		if fromDisk {
+			c.diskHits++
+		} else {
+			c.diskMisses++
+		}
+		if diskErr {
+			c.diskErrs++
+		}
+	}
+	// The entry may have been evicted (or the cache reset) while we
+	// generated; only charge entries still in the map.
+	if c.entries[key] == e {
+		e.bytes = size
+		c.bytes += size
+		evictLocked(e)
+	}
+	c.mu.Unlock()
+	ps.finish()
 }

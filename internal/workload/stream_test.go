@@ -13,9 +13,11 @@ func freshCache(t testing.TB, budget int64) {
 	t.Helper()
 	ResetStreamCache()
 	SetStreamCacheBudget(budget)
+	SetStreamCacheDir("")
 	t.Cleanup(func() {
 		ResetStreamCache()
 		SetStreamCacheBudget(DefaultStreamCacheBytes)
+		SetStreamCacheDir("")
 	})
 }
 
@@ -44,10 +46,103 @@ func TestSharedStreamMatchesGenerator(t *testing.T) {
 	if s.Accesses() != accesses {
 		t.Errorf("Accesses() = %d, want %d", s.Accesses(), accesses)
 	}
+	if s.Len() != len(want) {
+		t.Errorf("Len() = %d, want %d", s.Len(), len(want))
+	}
 	// Replay must walk the identical sequence.
 	got := Collect(s.Replay(), -1)
 	if !reflect.DeepEqual(want, got) {
 		t.Error("Replay() sequence differs")
+	}
+}
+
+// TestStreamReaderChunks pins the Reader contract: chunks of at most
+// PackedChunkOps ops that concatenate to exactly the generated stream,
+// Reset rewinding to the first chunk, and a second reader (a late arrival
+// attaching to already-published chunks) seeing the same sequence.
+func TestStreamReaderChunks(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("chunks")
+	const accesses = 10_000 // several chunks
+	want := Collect(New(prof, pagetable.Size4K, accesses, 3), -1)
+	s := SharedStream(prof, pagetable.Size4K, accesses, 3)
+
+	drain := func(r *StreamReader) []Op {
+		var got []Op
+		chunks := 0
+		for {
+			ops, ok := r.Next()
+			if !ok {
+				break
+			}
+			if len(ops) == 0 || len(ops) > PackedChunkOps {
+				t.Fatalf("chunk %d has %d ops", chunks, len(ops))
+			}
+			got = append(got, ops...)
+			chunks++
+		}
+		if min := (len(want) + PackedChunkOps - 1) / PackedChunkOps; chunks != min {
+			t.Fatalf("stream decoded in %d chunks, want %d", chunks, min)
+		}
+		return got
+	}
+
+	r := s.Reader()
+	defer r.Close()
+	if got := drain(r); !reflect.DeepEqual(want, got) {
+		t.Fatal("Reader sequence differs from generator output")
+	}
+	r.Reset()
+	if got := drain(r); !reflect.DeepEqual(want, got) {
+		t.Fatal("Reader sequence differs after Reset")
+	}
+	late := s.Reader()
+	defer late.Close()
+	if got := drain(late); !reflect.DeepEqual(want, got) {
+		t.Fatal("late reader sequence differs")
+	}
+}
+
+// TestSharedStreamPipelinedConsumers starts several consumers immediately
+// after the (asynchronous, chunk-publishing) generation kicks off; each
+// must see the full identical stream regardless of how its reads interleave
+// with generation.
+func TestSharedStreamPipelinedConsumers(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("pipeline")
+	const accesses = 20_000
+	s := SharedStream(prof, pagetable.Size4K, accesses, 11)
+	const consumers = 4
+	lens := make([]int, consumers)
+	sums := make([]uint64, consumers)
+	var wg sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := s.Reader()
+			defer r.Close()
+			for {
+				ops, ok := r.Next()
+				if !ok {
+					return
+				}
+				lens[i] += len(ops)
+				for j := range ops {
+					sums[i] += ops[j].VA + uint64(ops[j].Kind)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < consumers; i++ {
+		if lens[i] != lens[0] || sums[i] != sums[0] {
+			t.Fatalf("consumer %d saw %d ops (sum %d), consumer 0 saw %d (sum %d)",
+				i, lens[i], sums[i], lens[0], sums[0])
+		}
+	}
+	if lens[0] != s.Len() {
+		t.Fatalf("consumers saw %d ops, stream Len() = %d", lens[0], s.Len())
 	}
 }
 
@@ -66,12 +161,15 @@ func TestSharedStreamCacheHit(t *testing.T) {
 	if SharedStream(prof, pagetable.Size2M, 500, 1) == a {
 		t.Error("different page size shared a stream")
 	}
-	hits, misses, bytes := StreamCacheStats()
+	hits, misses, _ := StreamCacheStats()
 	if hits != 1 || misses != 3 {
 		t.Errorf("stats = %d hits / %d misses, want 1/3", hits, misses)
 	}
-	if bytes <= 0 {
-		t.Errorf("cache bytes = %d, want > 0", bytes)
+	// The budget is charged when generation completes (observing a
+	// completed stream implies consistent statistics).
+	a.PackedBytes()
+	if _, _, bytes := StreamCacheStats(); bytes <= 0 {
+		t.Errorf("cache bytes = %d after generation, want > 0", bytes)
 	}
 	// Normalization: Processes/Threads 0 and 1 are the same workload.
 	p0 := streamProfile("norm")
@@ -99,15 +197,18 @@ func TestSharedStreamBudgetZeroDisables(t *testing.T) {
 }
 
 func TestStreamCacheEviction(t *testing.T) {
-	// Budget sized to hold roughly one stream, so each new key evicts the
-	// previous one.
+	// Budget sized to hold roughly one packed stream, so each new key
+	// evicts the previous one.
 	prof := streamProfile("evict")
+	freshCache(t, DefaultStreamCacheBytes)
 	probe := SharedStream(prof, pagetable.Size4K, 2000, 1)
-	one := int64(len(probe.Ops()))*opBytes + 512
+	one := probe.PackedBytes() + 2*streamEntryOverhead
 	freshCache(t, one)
 
 	a := SharedStream(prof, pagetable.Size4K, 2000, 1)
-	SharedStream(prof, pagetable.Size4K, 2000, 2) // evicts a
+	a.PackedBytes()
+	s2 := SharedStream(prof, pagetable.Size4K, 2000, 2) // evicts a when charged
+	s2.PackedBytes()
 	_, _, bytes := StreamCacheStats()
 	if bytes > one {
 		t.Errorf("cache bytes %d exceed budget %d after eviction", bytes, one)
@@ -119,7 +220,7 @@ func TestStreamCacheEviction(t *testing.T) {
 	// Unlimited budget never evicts.
 	freshCache(t, -1)
 	for seed := int64(0); seed < 8; seed++ {
-		SharedStream(prof, pagetable.Size4K, 2000, seed)
+		SharedStream(prof, pagetable.Size4K, 2000, seed).PackedBytes()
 	}
 	if hits, misses, _ := StreamCacheStats(); hits != 0 || misses != 8 {
 		t.Errorf("unbounded cache stats %d/%d, want 0 hits / 8 misses", hits, misses)
@@ -129,6 +230,45 @@ func TestStreamCacheEviction(t *testing.T) {
 	}
 	if hits, _, _ := StreamCacheStats(); hits != 8 {
 		t.Errorf("unbounded cache evicted: %d hits on re-request, want 8", hits)
+	}
+}
+
+// TestResetStreamCacheRewindsClock pins that a reset restores the cache to
+// its fresh-process state: statistics zeroed and the LRU clock rewound, so
+// lastUse stamps after a reset are deterministic.
+func TestResetStreamCacheRewindsClock(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("clock")
+	for seed := int64(0); seed < 5; seed++ {
+		SharedStream(prof, pagetable.Size4K, 200, seed)
+	}
+	streamCache.mu.Lock()
+	clockBefore := streamCache.clock
+	streamCache.mu.Unlock()
+	if clockBefore != 5 {
+		t.Fatalf("clock = %d after 5 requests, want 5", clockBefore)
+	}
+	ResetStreamCache()
+	streamCache.mu.Lock()
+	clock := streamCache.clock
+	streamCache.mu.Unlock()
+	if clock != 0 {
+		t.Fatalf("clock = %d after reset, want 0", clock)
+	}
+	s := SharedStream(prof, pagetable.Size4K, 200, 99)
+	s.PackedBytes()
+	streamCache.mu.Lock()
+	var lastUse uint64
+	for _, e := range streamCache.entries {
+		lastUse = e.lastUse
+	}
+	streamCache.mu.Unlock()
+	if lastUse != 1 {
+		t.Fatalf("first post-reset entry lastUse = %d, want 1", lastUse)
+	}
+	info := StreamCacheInfo()
+	if info.Hits != 0 || info.Misses != 1 || info.Streams != 1 {
+		t.Fatalf("post-reset stats = %+v, want 0 hits / 1 miss / 1 stream", info)
 	}
 }
 
@@ -191,10 +331,36 @@ func TestAccessBoundary(t *testing.T) {
 	}
 }
 
+// TestAccessBoundaryAcrossChunks exercises splits on streams long enough
+// that the boundary lands in a middle chunk and exactly at chunk edges.
+func TestAccessBoundaryAcrossChunks(t *testing.T) {
+	freshCache(t, DefaultStreamCacheBytes)
+	prof := streamProfile("boundary-chunks")
+	s := SharedStream(prof, pagetable.Size4K, 3*PackedChunkOps, 5)
+	ops := s.Ops()
+	cuts := []int{1, PackedChunkOps - 1, PackedChunkOps, PackedChunkOps + 1,
+		2 * PackedChunkOps, s.Accesses() / 2, s.Accesses()}
+	for _, n := range cuts {
+		b := s.AccessBoundary(n)
+		seen := 0
+		for _, op := range ops[:b] {
+			if op.Kind == OpAccess {
+				seen++
+			}
+		}
+		if seen != n {
+			t.Errorf("AccessBoundary(%d) = %d covers %d accesses", n, b, seen)
+		}
+		if ops[b-1].Kind != OpAccess {
+			t.Errorf("AccessBoundary(%d): boundary op is %v", n, ops[b-1].Kind)
+		}
+	}
+}
+
 func BenchmarkSharedStreamHit(b *testing.B) {
 	freshCache(b, DefaultStreamCacheBytes)
 	prof := streamProfile("bench-hit")
-	SharedStream(prof, pagetable.Size4K, 30_000, 42) // populate
+	SharedStream(prof, pagetable.Size4K, 30_000, 42).PackedBytes() // populate
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -208,6 +374,33 @@ func BenchmarkSharedStreamMiss(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		SharedStream(prof, pagetable.Size4K, 30_000, int64(i))
+		SharedStream(prof, pagetable.Size4K, 30_000, int64(i)).PackedBytes()
+	}
+}
+
+// BenchmarkSharedStreamCold measures the full cold path a sweep's first
+// consumer pays: pipelined generation plus a complete chunked read-through
+// of the stream. Compare with BenchmarkSharedStreamMiss (generation only)
+// and BenchmarkPackedDecode (decode only).
+func BenchmarkSharedStreamCold(b *testing.B) {
+	freshCache(b, -1)
+	prof := streamProfile("bench-cold")
+	b.ReportAllocs()
+	b.ResetTimer()
+	ops := 0
+	for i := 0; i < b.N; i++ {
+		s := SharedStream(prof, pagetable.Size4K, 30_000, int64(i))
+		r := s.Reader()
+		for {
+			chunk, ok := r.Next()
+			if !ok {
+				break
+			}
+			ops += len(chunk)
+		}
+		r.Close()
+	}
+	if ops == 0 {
+		b.Fatal("no ops read")
 	}
 }
