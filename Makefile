@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race lint bench bench-micro bench-compare bench-parallel clean
+.PHONY: all check vet build test race diffcheck lint bench bench-micro bench-compare bench-parallel clean
 
 all: check
 
@@ -35,7 +35,14 @@ test:
 # detector: the sweep runner itself, the refactored experiment drivers,
 # and the simulator core they drive.
 race:
-	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/cpu
+	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/cpu ./internal/diffcheck
+
+# diffcheck runs the four-technique differential-equivalence harness
+# (identical op scripts with THP collapse, COW, and reclaim must produce
+# page-for-page identical end state under native/nested/shadow/agile)
+# under the race detector.
+diffcheck:
+	$(GO) test -race -v ./internal/diffcheck
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -144,6 +144,7 @@ func NewManager(ctx *vmm.Context, cfg PolicyConfig) (*Manager, error) {
 	}
 	ctx.SetOracle(m)
 	ctx.SetWriteListener(m.onProtectedWrite)
+	ctx.SetFreeListener(m.GuestTableFreed)
 	if cfg.StartNested {
 		ctx.SetFullNested(true)
 	}
@@ -173,6 +174,20 @@ func (m *Manager) NestedNodesByLevel() [4]int {
 // NodeNested implements vmm.ModeOracle.
 func (m *Manager) NodeNested(asid uint16, gptPage uint64) bool {
 	return m.nested[gptPage]
+}
+
+// GuestTableFreed implements the policy's half of the shadow-invalidation
+// contract: when the guest OS frees a table page, its mode decision and
+// pending write counts die with it. Without this, a recycled gPA would
+// inherit the freed page's nested bit (the oracle would steer fresh shadow
+// fills into planting switches over half-built tables) or its write tally.
+func (m *Manager) GuestTableFreed(gptPage uint64) {
+	delete(m.nested, gptPage)
+	for k := range m.writeCounts {
+		if k.page == gptPage {
+			delete(m.writeCounts, k)
+		}
+	}
 }
 
 // writeKey identifies the dynamic part a write belongs to. Writes to a

@@ -1,0 +1,91 @@
+package cpu
+
+import (
+	"testing"
+
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// TestCollapseUnderVirtualization is the regression pin for the
+// collapse-under-shadow/agile panic ("memsim: read of non-table frame"): a
+// THP collapse pruned a guest leaf table page while the VMM still held
+// write-protect tracking and a shadow subtree for it, so the next guest-table
+// allocation recycled the gPA into a half-shadowed, stale-tracked page and a
+// later access dereferenced a switching entry into a foreign frame. The
+// scripted recipe below reproduced the panic before the invalidation
+// contract existed: hammer writes over a 2M span (accumulating shadow
+// write-protect traps and, under agile, per-node write counts that plant
+// switching entries at policy ticks), collapse the span, then force fresh
+// guest-table allocations with a second region and touch everything again.
+func TestCollapseUnderVirtualization(t *testing.T) {
+	base := uint64(0x4000_0000)
+	second := uint64(0x6000_0000)
+	span := pagetable.Size2M.Bytes()
+
+	script := setupOps(base, 2*span, pagetable.Size4K)
+	// Write every 4K page of the first 2M span: each write is a shadow
+	// write-protect trap, and under agile the trap counts drive the policy
+	// toward planting switching entries on this very path.
+	for off := uint64(0); off < span; off += 4096 {
+		script = append(script, workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + off, Write: true})
+	}
+	// COW the span and write half of it again so unsynced-COW bookkeeping is
+	// live when the structural edit lands.
+	script = append(script, workload.Op{Kind: workload.OpMarkCOW, PID: 0, VA: base})
+	for off := uint64(0); off < span/2; off += 4096 {
+		script = append(script, workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + off, Write: true})
+	}
+	script = append(script, workload.Op{Kind: workload.OpCollapse, PID: 0, VA: base})
+	// A second region forces fresh guest page-table pages, recycling the gPAs
+	// the collapse freed — the pre-fix recipe for tripping stale tracking.
+	script = append(script,
+		workload.Op{Kind: workload.OpMmap, PID: 0, VA: second, Len: span, Size: pagetable.Size4K},
+		workload.Op{Kind: workload.OpPopulate, PID: 0, VA: second},
+	)
+	for off := uint64(0); off < span; off += 4096 {
+		script = append(script,
+			workload.Op{Kind: workload.OpAccess, PID: 0, VA: second + off, Write: true},
+			workload.Op{Kind: workload.OpAccess, PID: 0, VA: base + off, Write: off%8192 == 0},
+		)
+	}
+	// Collapse the second span too, now that recycled pages back its tables.
+	script = append(script, workload.Op{Kind: workload.OpCollapse, PID: 0, VA: second})
+	for off := uint64(0); off < span; off += 4096 {
+		script = append(script, workload.Op{Kind: workload.OpAccess, PID: 0, VA: second + off})
+	}
+
+	for _, tech := range []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile} {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(tech, pagetable.Size4K)
+			cfg.PolicyTickOps = 200 // several agile adaptation ticks before the collapse
+			m := newMachine(t, cfg)
+			mustRun(t, m, script)
+
+			// Both collapses must have really happened, not been refused.
+			if got := m.OS.Stats().Collapses; got != 2 {
+				t.Fatalf("Collapses = %d, want 2", got)
+			}
+			for _, va := range []uint64{base, second} {
+				p, err := m.OS.Process(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, ok := p.PT.TryLookup(va)
+				if !ok || res.Size != pagetable.Size2M {
+					t.Errorf("VA %#x not mapped as 2M after collapse (ok=%v size=%v)", va, ok, res.Size)
+				}
+			}
+			// Under shadow-covered techniques the contract must have torn down
+			// shadow state when the guest leaf tables were pruned.
+			if tech == walker.ModeShadow || tech == walker.ModeAgile {
+				if m.VM.Stats().ShadowEntriesZapped == 0 {
+					t.Error("collapse pruned guest tables but zapped no shadow entries")
+				}
+			}
+		})
+	}
+}

@@ -93,6 +93,10 @@ func TestBatchedExecutionEquivalence(t *testing.T) {
 			Name: "threaded", FootprintBytes: 2 << 20, Pattern: workload.PatternZipf,
 			ZipfS: 1.0, WriteRatio: 0.2, Threads: 3, ReclaimEvery: 250, ReclaimPages: 16,
 		},
+		{
+			Name: "thp-collapse", FootprintBytes: 4 << 20, Pattern: workload.PatternZipf,
+			ZipfS: 1.1, WriteRatio: 0.3, CollapseEvery: 400, CowEvery: 550, CowRegionBytes: 64 << 10,
+		},
 	}
 	for _, tech := range []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile} {
 		for _, prof := range profiles {
@@ -110,10 +114,11 @@ func TestBatchedExecutionEquivalence(t *testing.T) {
 // FuzzBatchedExecutionEquivalence drives the same property over fuzzer-chosen
 // profile knobs and seeds.
 func FuzzBatchedExecutionEquivalence(f *testing.F) {
-	f.Add(int64(1), uint16(800), uint8(0), uint8(30), uint8(1), uint8(1), uint16(0), uint16(0), uint16(0))
-	f.Add(int64(7), uint16(1200), uint8(3), uint8(60), uint8(2), uint8(2), uint16(50), uint16(200), uint16(300))
-	f.Add(int64(99), uint16(600), uint8(2), uint8(10), uint8(3), uint8(1), uint16(25), uint16(0), uint16(150))
-	f.Fuzz(func(t *testing.T, seed int64, accesses uint16, techSel, writePct, procs, threads uint8, ctxEvery, churnEvery, cowEvery uint16) {
+	f.Add(int64(1), uint16(800), uint8(0), uint8(30), uint8(1), uint8(1), uint16(0), uint16(0), uint16(0), uint16(0))
+	f.Add(int64(7), uint16(1200), uint8(3), uint8(60), uint8(2), uint8(2), uint16(50), uint16(200), uint16(300), uint16(0))
+	f.Add(int64(99), uint16(600), uint8(2), uint8(10), uint8(3), uint8(1), uint16(25), uint16(0), uint16(150), uint16(0))
+	f.Add(int64(21), uint16(1000), uint8(3), uint8(50), uint8(1), uint8(1), uint16(0), uint16(0), uint16(250), uint16(350))
+	f.Fuzz(func(t *testing.T, seed int64, accesses uint16, techSel, writePct, procs, threads uint8, ctxEvery, churnEvery, cowEvery, collapseEvery uint16) {
 		techs := []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile}
 		tech := techs[int(techSel)%len(techs)]
 		prof := workload.Profile{
@@ -127,6 +132,7 @@ func FuzzBatchedExecutionEquivalence(f *testing.F) {
 			CtxSwitchEvery: int(ctxEvery % 512),
 			MmapChurnEvery: int(churnEvery % 1024),
 			CowEvery:       int(cowEvery % 1024),
+			CollapseEvery:  int(collapseEvery % 1024),
 		}
 		if prof.MmapChurnEvery > 0 {
 			prof.ChurnRegionBytes, prof.ChurnRegions = 32<<10, 2

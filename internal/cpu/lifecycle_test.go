@@ -46,6 +46,11 @@ var lifecycleProfiles = []workload.Profile{
 		Name: "threaded", FootprintBytes: 2 << 20, Pattern: workload.PatternZipf,
 		ZipfS: 1.0, WriteRatio: 0.2, Threads: 3, ReclaimEvery: 250, ReclaimPages: 16,
 	},
+	{
+		Name: "thp-collapse", FootprintBytes: 4 << 20, Pattern: workload.PatternZipf,
+		ZipfS: 1.1, WriteRatio: 0.3, CollapseEvery: 400, CowEvery: 550, CowRegionBytes: 64 << 10,
+		ReclaimEvery: 700, ReclaimPages: 24,
+	},
 }
 
 // checkResetEquivalence pins the Reset contract: a machine that already ran
@@ -127,30 +132,12 @@ func TestResetVsFreshEquivalence(t *testing.T) {
 func TestResetVsFreshScriptedReplay(t *testing.T) {
 	base := uint64(0x4000_0000)
 	other := uint64(0x7f00_0000_0000)
-	script := func(withCollapse bool) []workload.Op {
-		ops := scriptedReplayOps(base, other)
-		if !withCollapse {
-			kept := ops[:0]
-			for _, op := range ops {
-				if op.Kind != workload.OpCollapse {
-					kept = append(kept, op)
-				}
-			}
-			ops = kept
-		}
-		return ops
-	}
 	dirty := append(setupOps(base, 32<<12, pagetable.Size4K), workload.Op{Kind: workload.OpAccess, PID: 0, VA: base})
 	for _, tech := range []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile} {
 		tech := tech
 		t.Run(tech.String(), func(t *testing.T) {
 			t.Parallel()
-			// THP collapse under agile trips a pre-existing walker bug
-			// (stale shadow state after the guest-table prune) unrelated to
-			// the lifecycle; keep agile's replay collapse-free until that
-			// path is fixed.
-			withCollapse := tech != walker.ModeAgile
-			checkResetEquivalence(t, smallConfig(tech, pagetable.Size4K), script(withCollapse), dirty)
+			checkResetEquivalence(t, smallConfig(tech, pagetable.Size4K), scriptedReplayOps(base, other), dirty)
 		})
 	}
 }
@@ -187,10 +174,11 @@ func scriptedReplayOps(base, other uint64) []workload.Op {
 // FuzzResetVsFreshEquivalence drives the Reset contract over fuzzer-chosen
 // profile knobs, seeds, and techniques.
 func FuzzResetVsFreshEquivalence(f *testing.F) {
-	f.Add(int64(1), uint16(800), uint8(3), uint8(30), uint8(1), uint16(0), uint16(0))
-	f.Add(int64(7), uint16(1200), uint8(1), uint8(60), uint8(3), uint16(50), uint16(200))
-	f.Add(int64(99), uint16(600), uint8(2), uint8(10), uint8(2), uint16(25), uint16(150))
-	f.Fuzz(func(t *testing.T, seed int64, accesses uint16, techSel, writePct, procs uint8, ctxEvery, churnEvery uint16) {
+	f.Add(int64(1), uint16(800), uint8(3), uint8(30), uint8(1), uint16(0), uint16(0), uint16(0))
+	f.Add(int64(7), uint16(1200), uint8(1), uint8(60), uint8(3), uint16(50), uint16(200), uint16(0))
+	f.Add(int64(99), uint16(600), uint8(2), uint8(10), uint8(2), uint16(25), uint16(150), uint16(0))
+	f.Add(int64(13), uint16(900), uint8(3), uint8(40), uint8(2), uint16(40), uint16(0), uint16(300))
+	f.Fuzz(func(t *testing.T, seed int64, accesses uint16, techSel, writePct, procs uint8, ctxEvery, churnEvery, collapseEvery uint16) {
 		techs := []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile}
 		tech := techs[int(techSel)%len(techs)]
 		prof := workload.Profile{
@@ -202,6 +190,7 @@ func FuzzResetVsFreshEquivalence(f *testing.F) {
 			Processes:      1 + int(procs%4),
 			CtxSwitchEvery: int(ctxEvery % 512),
 			MmapChurnEvery: int(churnEvery % 1024),
+			CollapseEvery:  int(collapseEvery % 1024),
 		}
 		if prof.MmapChurnEvery > 0 {
 			prof.ChurnRegionBytes, prof.ChurnRegions = 32<<10, 2

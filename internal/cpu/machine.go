@@ -232,10 +232,11 @@ type Machine struct {
 	managers map[uint16]*core.Manager
 	shsp     map[uint16]*core.SHSP
 
-	clock    uint64
-	stats    Stats
-	refsHist *stats.Hist // completed-walk memory references per TLB miss
-	missObs  func(va uint64, write, retry bool, res walker.Result)
+	clock     uint64
+	stats     Stats
+	refsHist  *stats.Hist // completed-walk memory references per TLB miss
+	missObs   func(va uint64, write, retry bool, res walker.Result)
+	accessObs func(va uint64, write bool, pa uint64, size pagetable.Size)
 
 	// Optional telemetry (nil when disabled; see internal/telemetry). tel
 	// costs one branch + one increment per access; walkEvents one array
@@ -359,6 +360,7 @@ func (m *Machine) Reset(cfg Config) error {
 	m.stats = Stats{}
 	m.refsHist.Reset()
 	m.missObs = nil
+	m.accessObs = nil
 	m.tel = nil
 	m.walkEvents = nil
 	m.sinceTickAccesses, m.sinceTickIdeal, m.sinceTickWalk = 0, 0, 0
@@ -387,6 +389,17 @@ func (m *Machine) SHSPControllers() map[uint16]*core.SHSP { return m.shsp }
 // write-protection upgrade).
 func (m *Machine) SetMissObserver(fn func(va uint64, write, retry bool, res walker.Result)) {
 	m.missObs = fn
+}
+
+// SetAccessObserver installs a callback invoked once per successful data or
+// fetch access with the final translated host-physical address. Every
+// successful access terminates in a TLB hit (walks insert and re-probe), so
+// the hook sees exactly one event per access, in program order, regardless
+// of technique. It requires DisableL0Memo: the L0 repeat path short-circuits
+// before the physical address is recomputed. The differential-equivalence
+// harness uses it to track per-frame memory contents.
+func (m *Machine) SetAccessObserver(fn func(va uint64, write bool, pa uint64, size pagetable.Size)) {
+	m.accessObs = fn
 }
 
 // ResetMeasurement zeroes every statistics counter while leaving all
@@ -564,7 +577,14 @@ func (m *Machine) Exec(op workload.Op) error {
 		_, err := m.OS.ReclaimScan(op.PID, op.N)
 		return err
 	case workload.OpCollapse:
-		return m.OS.Collapse(op.PID, op.VA)
+		if err := m.OS.Collapse(op.PID, op.VA); err != nil && !errors.Is(err, guest.ErrCollapseUnsuitable) {
+			return err
+		}
+		// An unsuitable range (partially mapped, already huge, crossing a
+		// region boundary) is skipped, as khugepaged skips it. The refusal
+		// is decided before any state changes, so the skip is deterministic
+		// across techniques.
+		return nil
 	}
 	return fmt.Errorf("cpu: unknown op kind %v", op.Kind)
 }
@@ -678,6 +698,9 @@ func (m *Machine) translate(c *coreState, cur *guest.Process, va uint64, write, 
 				fetch:    fetch,
 				writable: r.Flags.Writable(),
 				valid:    true,
+			}
+			if m.accessObs != nil {
+				m.accessObs(va, write, r.PA, r.Size)
 			}
 			return nil
 		}
@@ -904,6 +927,12 @@ func (p nativePlatform) TLBInvalidate(asid uint16, va uint64) {
 	}
 }
 
+func (p nativePlatform) TLBInvalidateSpan(asid uint16, va uint64, size pagetable.Size) {
+	// Natively a huge page is cached as one TLB entry and its walk shares
+	// one set of PWC entries, so the span invalidation is a single INVLPG.
+	p.TLBInvalidate(asid, va)
+}
+
 func (p nativePlatform) TLBFlush(asid uint16) {
 	for _, c := range p.m.cores {
 		c.tlbs.FlushASID(asid)
@@ -911,6 +940,13 @@ func (p nativePlatform) TLBFlush(asid uint16) {
 			c.pwc.FlushASID(asid)
 		}
 	}
+}
+
+func (p nativePlatform) StructuralEdit(asid uint16, va uint64, size pagetable.Size) {
+	// A 2M rebuild invalidates 512 pages; Linux flushes the whole TLB once
+	// a range invalidation exceeds its batching ceiling (33 pages), so
+	// model the range invalidation as one full flush.
+	p.TLBFlush(asid)
 }
 
 // virtPlatform implements guest.Platform inside the VM.
@@ -953,8 +989,20 @@ func (p virtPlatform) TLBInvalidate(asid uint16, va uint64) {
 	}
 }
 
+func (p virtPlatform) TLBInvalidateSpan(asid uint16, va uint64, size pagetable.Size) {
+	if ctx, ok := p.m.VM.Context(asid); ok {
+		ctx.GuestTLBFlushSpan(va, size)
+	}
+}
+
 func (p virtPlatform) TLBFlush(asid uint16) {
 	if ctx, ok := p.m.VM.Context(asid); ok {
 		ctx.GuestTLBFlush(0, true)
+	}
+}
+
+func (p virtPlatform) StructuralEdit(asid uint16, va uint64, size pagetable.Size) {
+	if ctx, ok := p.m.VM.Context(asid); ok {
+		ctx.StructuralEdit(va, size)
 	}
 }

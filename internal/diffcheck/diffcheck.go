@@ -1,0 +1,316 @@
+// Package diffcheck is a differential-equivalence harness for the four
+// translation techniques (native, nested, shadow, agile). It executes one op
+// script on four machines that differ only in technique and asserts the final
+// architectural state agrees page for page:
+//
+//   - the per-process page tables hold the same leaves (VA, page size,
+//     permission bits),
+//   - the same pages carry pending-COW marks and the same regions exist,
+//   - per-page write histories match — every machine retired the same
+//     accesses in the same order with the same read/write outcomes,
+//   - the frame-sharing partition matches: two virtual pages share a physical
+//     frame in one machine iff they share one in every machine (physical
+//     addresses themselves are technique-specific and never compared), and
+//   - on shadow-capable machines, every shadow leaf agrees with the composed
+//     guest∘host translation — no stale shadow state survives the run.
+//
+// The harness exists because structural guest-table edits (THP collapse,
+// table pruning) historically corrupted shadow state in ways only visible as
+// divergence between techniques; see the shadow-invalidation contract in
+// DESIGN.md.
+package diffcheck
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"agilepaging/internal/cpu"
+	"agilepaging/internal/guest"
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/vmm"
+	"agilepaging/internal/walker"
+	"agilepaging/internal/workload"
+)
+
+// permMask selects the leaf-entry bits every technique must agree on.
+// Accessed/Dirty are hardware-set and depend on how each technique walks;
+// Huge is implied by the compared page size.
+const permMask = pagetable.FlagPresent | pagetable.FlagWrite | pagetable.FlagUser | pagetable.FlagNX
+
+// Techniques is the comparison set: native is the reference semantics, the
+// three virtualized techniques must be indistinguishable from it.
+var Techniques = []walker.Mode{walker.ModeNative, walker.ModeNested, walker.ModeShadow, walker.ModeAgile}
+
+// Options tunes the machines the script runs on.
+type Options struct {
+	PageSize      pagetable.Size // guest page-size policy; zero means 4K
+	PolicyTickOps int            // agile adaptation period; zero keeps the config default
+}
+
+// PageKey names one 4K virtual page of one process.
+type PageKey struct {
+	PID int
+	VA  uint64
+}
+
+func (k PageKey) String() string { return fmt.Sprintf("pid%d:%#x", k.PID, k.VA) }
+
+// LeafInfo is one page-table leaf in technique-neutral form.
+type LeafInfo struct {
+	VA   uint64
+	Size pagetable.Size
+	Perm pagetable.Entry
+}
+
+// State is the architectural end state of one machine, reduced to the parts
+// that must be technique-invariant.
+type State struct {
+	Tech    walker.Mode
+	Leaves  map[int][]LeafInfo
+	COW     map[PageKey]bool
+	Regions map[int][]guest.Region
+	Chains  map[PageKey]uint64 // per-page write-history hash
+	Groups  map[PageKey]string // frame-sharing partition, in VA space
+}
+
+// mix folds one write event into a page's history hash.
+func mix(prev, va, seq uint64) uint64 {
+	const prime = 1099511628211
+	h := (prev ^ va) * prime
+	return (h ^ seq) * prime
+}
+
+// pidsOf returns the PIDs the script creates, in order.
+func pidsOf(ops []workload.Op) []int {
+	var pids []int
+	seen := map[int]bool{}
+	for _, op := range ops {
+		if op.Kind == workload.OpCreateProcess && !seen[op.PID] {
+			seen[op.PID] = true
+			pids = append(pids, op.PID)
+		}
+	}
+	return pids
+}
+
+// Run executes ops under one technique and captures its end state. The L0
+// memo is disabled so the access observer sees every retired access.
+func Run(tech walker.Mode, ops []workload.Op, opt Options) (*State, error) {
+	ps := opt.PageSize
+	if ps == 0 {
+		ps = pagetable.Size4K
+	}
+	cfg := cpu.DefaultConfig(tech, ps)
+	cfg.MemBytes = 512 << 20
+	cfg.GuestRAMBytes = 128 << 20
+	cfg.DisableL0Memo = true
+	if opt.PolicyTickOps > 0 {
+		cfg.PolicyTickOps = opt.PolicyTickOps
+	}
+	m, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &State{
+		Tech:    tech,
+		Leaves:  map[int][]LeafInfo{},
+		COW:     map[PageKey]bool{},
+		Regions: map[int][]guest.Region{},
+		Chains:  map[PageKey]uint64{},
+		Groups:  map[PageKey]string{},
+	}
+	var (
+		curPID  int
+		readout bool
+		seq     uint64
+		frames  = map[PageKey]uint64{}
+	)
+	m.SetAccessObserver(func(va uint64, write bool, pa uint64, size pagetable.Size) {
+		if readout {
+			frames[PageKey{curPID, va &^ 0xfff}] = pa &^ 0xfff
+			return
+		}
+		seq++
+		if write {
+			k := PageKey{curPID, va &^ 0xfff}
+			st.Chains[k] = mix(st.Chains[k], va, seq)
+		}
+	})
+
+	for i := range ops {
+		curPID = ops[i].PID
+		if err := m.Exec(ops[i]); err != nil {
+			return nil, fmt.Errorf("%v: op %d (%v): %w", tech, i, ops[i].Kind, err)
+		}
+	}
+
+	// End-state capture: page-table leaves, COW marks, regions, and — via a
+	// read-only pass with the observer in readout mode — which frame backs
+	// each live page, for the sharing partition.
+	readout = true
+	for _, pid := range pidsOf(ops) {
+		p, err := m.OS.Process(pid)
+		if err != nil {
+			return nil, fmt.Errorf("%v: process %d: %w", tech, pid, err)
+		}
+		var leaves []LeafInfo
+		p.PT.VisitLeaves(func(l pagetable.Leaf) bool {
+			leaves = append(leaves, LeafInfo{l.VA, l.Size, l.Entry.Flags() & permMask})
+			return true
+		})
+		st.Leaves[pid] = leaves
+		regions := p.Regions()
+		sort.Slice(regions, func(i, j int) bool { return regions[i].Base < regions[j].Base })
+		st.Regions[pid] = regions
+
+		curPID = pid
+		if err := m.Exec(workload.Op{Kind: workload.OpCtxSwitch, PID: pid}); err != nil {
+			return nil, fmt.Errorf("%v: readout switch to %d: %w", tech, pid, err)
+		}
+		for _, l := range leaves {
+			for off := uint64(0); off < l.Size.Bytes(); off += pagetable.Size4K.Bytes() {
+				page := l.VA + off
+				if p.IsCOW(page) {
+					st.COW[PageKey{pid, page}] = true
+				}
+				if err := m.Exec(workload.Op{Kind: workload.OpAccess, PID: pid, VA: page}); err != nil {
+					return nil, fmt.Errorf("%v: readout access pid %d va %#x: %w", tech, pid, page, err)
+				}
+			}
+		}
+	}
+
+	// Reduce frame identities to the partition they induce on virtual pages.
+	byFrame := map[uint64][]PageKey{}
+	for k, f := range frames {
+		byFrame[f] = append(byFrame[f], k)
+	}
+	for _, group := range byFrame {
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].PID != group[j].PID {
+				return group[i].PID < group[j].PID
+			}
+			return group[i].VA < group[j].VA
+		})
+		names := make([]string, len(group))
+		for i, k := range group {
+			names[i] = k.String()
+		}
+		label := strings.Join(names, ",")
+		for _, k := range group {
+			st.Groups[k] = label
+		}
+	}
+
+	if err := auditShadow(m); err != nil {
+		return nil, fmt.Errorf("%v: %w", tech, err)
+	}
+	return st, nil
+}
+
+// auditShadow checks shadow-translation coherence: every leaf the shadow
+// table resolves must equal the composed guest∘host translation, and must
+// not grant write access the guest translation withholds. Switching entries
+// (agile) bound the audit to the shadow-covered part of the tree.
+func auditShadow(m *cpu.Machine) error {
+	if m.VM == nil {
+		return nil
+	}
+	var err error
+	m.VM.EachContext(func(ctx *vmm.Context) {
+		if err != nil || ctx.SPT() == nil {
+			return
+		}
+		ctx.SPT().VisitLeaves(func(l pagetable.Leaf) bool {
+			for off := uint64(0); off < l.Size.Bytes(); off += pagetable.Size4K.Bytes() {
+				gva := l.VA + off
+				gres, ok := ctx.GPT().TryLookup(gva)
+				if !ok {
+					err = fmt.Errorf("shadow coherence: asid %d gva %#x shadowed but not guest-mapped", ctx.ASID(), gva)
+					return false
+				}
+				hpa, hostWritable, terr := m.VM.TranslateGPA(gres.PA)
+				if terr != nil {
+					err = fmt.Errorf("shadow coherence: asid %d gva %#x gpa %#x unbacked: %w", ctx.ASID(), gva, gres.PA, terr)
+					return false
+				}
+				if got := l.Entry.Addr() + off; got != hpa {
+					err = fmt.Errorf("shadow coherence: asid %d gva %#x: shadow hPA %#x != guest∘host hPA %#x",
+						ctx.ASID(), gva, got, hpa)
+					return false
+				}
+				if l.Entry.Writable() && !(gres.Entry.Writable() && hostWritable) {
+					err = fmt.Errorf("shadow coherence: asid %d gva %#x: shadow grants write the guest/host denies", ctx.ASID(), gva)
+					return false
+				}
+			}
+			return true
+		})
+	})
+	return err
+}
+
+// Equivalent runs ops under all four techniques and returns an error naming
+// the first divergence from the native reference state.
+func Equivalent(ops []workload.Op, opt Options) error {
+	states := make([]*State, len(Techniques))
+	for i, tech := range Techniques {
+		st, err := Run(tech, ops, opt)
+		if err != nil {
+			return err
+		}
+		states[i] = st
+	}
+	ref := states[0]
+	for _, st := range states[1:] {
+		if err := diff(ref, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diff compares two end states section by section.
+func diff(a, b *State) error {
+	for pid, la := range a.Leaves {
+		lb := b.Leaves[pid]
+		if len(la) != len(lb) {
+			return fmt.Errorf("%v vs %v: pid %d has %d leaves vs %d", a.Tech, b.Tech, pid, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return fmt.Errorf("%v vs %v: pid %d leaf %d differs: %+v vs %+v", a.Tech, b.Tech, pid, i, la[i], lb[i])
+			}
+		}
+	}
+	if len(a.Leaves) != len(b.Leaves) {
+		return fmt.Errorf("%v vs %v: process sets differ", a.Tech, b.Tech)
+	}
+	if !reflect.DeepEqual(a.COW, b.COW) {
+		return fmt.Errorf("%v vs %v: pending-COW page sets differ: %d vs %d pages", a.Tech, b.Tech, len(a.COW), len(b.COW))
+	}
+	if !reflect.DeepEqual(a.Regions, b.Regions) {
+		return fmt.Errorf("%v vs %v: region lists differ", a.Tech, b.Tech)
+	}
+	for k, ca := range a.Chains {
+		if cb, ok := b.Chains[k]; !ok || ca != cb {
+			return fmt.Errorf("%v vs %v: write history of %v differs (%#x vs %#x)", a.Tech, b.Tech, k, ca, cb)
+		}
+	}
+	if len(a.Chains) != len(b.Chains) {
+		return fmt.Errorf("%v vs %v: written-page sets differ (%d vs %d)", a.Tech, b.Tech, len(a.Chains), len(b.Chains))
+	}
+	for k, ga := range a.Groups {
+		if gb, ok := b.Groups[k]; !ok || ga != gb {
+			return fmt.Errorf("%v vs %v: frame sharing of %v differs:\n  %v: [%s]\n  %v: [%s]",
+				a.Tech, b.Tech, k, a.Tech, ga, b.Tech, gb)
+		}
+	}
+	if len(a.Groups) != len(b.Groups) {
+		return fmt.Errorf("%v vs %v: live-page sets differ (%d vs %d)", a.Tech, b.Tech, len(a.Groups), len(b.Groups))
+	}
+	return nil
+}

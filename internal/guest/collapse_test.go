@@ -1,0 +1,256 @@
+package guest
+
+import (
+	"errors"
+	"testing"
+
+	"agilepaging/internal/memsim"
+	"agilepaging/internal/pagetable"
+)
+
+// failPlatform is fakePlatform plus fault injection: one-shot failure of the
+// next page-table page allocation (to force Map to fail mid-collapse) or of
+// the next 2M data-page allocation.
+type failPlatform struct {
+	fakePlatform
+	failNextTableAlloc bool
+	failNext2MAlloc    bool
+}
+
+var errBoom = errors.New("boom")
+
+type failingSpace struct {
+	pagetable.Space
+	plat *failPlatform
+}
+
+func (s failingSpace) AllocTablePage() (uint64, error) {
+	if s.plat.failNextTableAlloc {
+		s.plat.failNextTableAlloc = false
+		return 0, errBoom
+	}
+	return s.Space.AllocTablePage()
+}
+
+func (f *failPlatform) NewProcessTable(asid uint16) (*pagetable.Table, error) {
+	return pagetable.New(f.mem, failingSpace{Space: pagetable.HostSpace{Mem: f.mem}, plat: f})
+}
+
+func (f *failPlatform) AllocPage(size pagetable.Size) (uint64, error) {
+	if size == pagetable.Size2M && f.failNext2MAlloc {
+		f.failNext2MAlloc = false
+		return 0, errBoom
+	}
+	return f.fakePlatform.AllocPage(size)
+}
+
+func newFailOS(t *testing.T) (*OS, *failPlatform) {
+	t.Helper()
+	p := &failPlatform{fakePlatform: fakePlatform{mem: memsim.New(256 << 20)}}
+	o := New(p)
+	if _, err := o.CreateProcess(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	return o, p
+}
+
+// collapseSetup maps and populates one 2M range of 4K pages and returns its
+// base and the original 512 leaf entries.
+func collapseSetup(t *testing.T, o *OS) (base uint64, old [512]pagetable.Entry) {
+	t.Helper()
+	base = 0x4000_0000
+	if _, err := o.Mmap(1, base, 2<<20, pagetable.Size4K, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Populate(1, base); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := o.Process(1)
+	for i := range old {
+		res, ok := p.PT.TryLookup(base + uint64(i)<<12)
+		if !ok {
+			t.Fatalf("page %d not populated", i)
+		}
+		old[i] = res.Entry
+	}
+	return base, old
+}
+
+// TestCollapseResolvesCOW pins the COW-hazard fix: collapsing a range with
+// pending COW pages must not free the shared frames and must not leave COW
+// marks behind; the new 2M page is a private copy.
+func TestCollapseResolvesCOW(t *testing.T) {
+	o, plat := newFailOS(t)
+	base, old := collapseSetup(t, o)
+	if err := o.MarkCOW(1, base); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := o.Process(1)
+	if !p.IsCOW(base) {
+		t.Fatal("setup: range not COW")
+	}
+	if err := o.Collapse(1, base); err != nil {
+		t.Fatalf("Collapse of COW range: %v", err)
+	}
+	// Shared frames stay alive for their other referents.
+	freed := make(map[uint64]bool)
+	for _, pa := range plat.freed {
+		freed[pa] = true
+	}
+	for i, e := range old {
+		if freed[e.Addr()] {
+			t.Fatalf("COW-shared frame %#x (page %d) was freed", e.Addr(), i)
+		}
+	}
+	// COW marks in the range are resolved by the copy.
+	for i := 0; i < 512; i++ {
+		if p.IsCOW(base + uint64(i)<<12) {
+			t.Fatalf("page %d still marked COW after collapse", i)
+		}
+	}
+	// The private 2M copy of a writable region is writable and dirty.
+	res, err := p.PT.Lookup(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != pagetable.Size2M || !res.Entry.Writable() || !res.Entry.Dirty() {
+		t.Errorf("collapsed entry = size %v flags %v, want private writable 2M", res.Size, res.Entry)
+	}
+}
+
+// TestCollapseReadOnlyRegionStaysReadOnly: the old code granted FlagWrite
+// unconditionally; the paper's guest OS must preserve region permissions.
+func TestCollapseReadOnlyRegionStaysReadOnly(t *testing.T) {
+	o, _ := newFailOS(t)
+	base := uint64(0x4000_0000)
+	if _, err := o.Mmap(1, base, 2<<20, pagetable.Size4K, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Populate(1, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Collapse(1, base); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := o.Process(1)
+	res, err := p.PT.Lookup(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entry.Writable() {
+		t.Error("collapse of a read-only region produced a writable 2M entry")
+	}
+}
+
+// TestCollapseAllocFailureLeavesStateUntouched: a failed 2M allocation is
+// decided before any table edit, so the range is untouched and retryable.
+func TestCollapseAllocFailureLeavesStateUntouched(t *testing.T) {
+	o, plat := newFailOS(t)
+	base, old := collapseSetup(t, o)
+	plat.failNext2MAlloc = true
+	if err := o.Collapse(1, base); !errors.Is(err, errBoom) {
+		t.Fatalf("Collapse = %v, want injected alloc failure", err)
+	}
+	p, _ := o.Process(1)
+	for i, e := range old {
+		res, ok := p.PT.TryLookup(base + uint64(i)<<12)
+		if !ok || res.Size != pagetable.Size4K || res.Entry.Addr() != e.Addr() {
+			t.Fatalf("page %d disturbed by failed collapse", i)
+		}
+	}
+	if len(plat.structuralEdits) != 0 {
+		t.Error("failed allocation still sent a structural-edit notice")
+	}
+	if o.Stats().Collapses != 0 {
+		t.Errorf("Collapses = %d after failed collapse", o.Stats().Collapses)
+	}
+	// The range remains collapsible.
+	if err := o.Collapse(1, base); err != nil {
+		t.Fatalf("retry after failed alloc: %v", err)
+	}
+}
+
+// TestCollapseMapFailureRollsBack pins the error-path fix: when the 2M
+// install fails mid-rewrite, the prior 4K mappings are restored entry for
+// entry and the fresh 2M frame is freed — no leak, no half-unmapped range.
+func TestCollapseMapFailureRollsBack(t *testing.T) {
+	o, plat := newFailOS(t)
+	base, old := collapseSetup(t, o)
+	// The prune frees the whole table chain under the 2M slot, so the 2M
+	// Map's first table allocation is the next one; fail it.
+	plat.failNextTableAlloc = true
+	err := o.Collapse(1, base)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Collapse = %v, want injected map failure", err)
+	}
+	p, _ := o.Process(1)
+	for i, e := range old {
+		res, ok := p.PT.TryLookup(base + uint64(i)<<12)
+		if !ok {
+			t.Fatalf("page %d left unmapped after rollback", i)
+		}
+		if res.Size != pagetable.Size4K || res.Entry.Addr() != e.Addr() {
+			t.Fatalf("page %d = %v %#x, want restored 4K %#x", i, res.Size, res.Entry.Addr(), e.Addr())
+		}
+		if res.Entry.Flags() != e.Flags() {
+			t.Fatalf("page %d flags = %v, want %v", i, res.Entry.Flags(), e.Flags())
+		}
+	}
+	// The 2M frame was released (it is the only 2M-sized free).
+	found := false
+	for _, pa := range plat.freed {
+		if pa%pagetable.Size2M.Bytes() == 0 && pa >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fresh 2M frame leaked on map failure")
+	}
+	if o.Stats().Collapses != 0 {
+		t.Errorf("Collapses = %d after failed collapse", o.Stats().Collapses)
+	}
+	// The range remains collapsible once the fault clears.
+	if err := o.Collapse(1, base); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if o.Stats().Collapses != 1 {
+		t.Errorf("Collapses = %d after retry", o.Stats().Collapses)
+	}
+}
+
+// TestCollapseUnsuitableCases: every refusal is decided before mutation and
+// reports ErrCollapseUnsuitable, so the machine layer can skip deterministically.
+func TestCollapseUnsuitableCases(t *testing.T) {
+	o, _ := newFailOS(t)
+	base := uint64(0x4000_0000)
+	// Region smaller than the 2M span.
+	if _, err := o.Mmap(1, base, 64<<12, pagetable.Size4K, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Populate(1, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Collapse(1, base); !errors.Is(err, ErrCollapseUnsuitable) {
+		t.Errorf("collapse crossing region end = %v, want ErrCollapseUnsuitable", err)
+	}
+	// No region at all.
+	if err := o.Collapse(1, 0x9000_0000); !errors.Is(err, ErrCollapseUnsuitable) {
+		t.Errorf("collapse outside regions = %v, want ErrCollapseUnsuitable", err)
+	}
+	if o.Stats().Collapses != 0 {
+		t.Errorf("Collapses = %d", o.Stats().Collapses)
+	}
+}
+
+// TestCollapseNotifiesBeforeRewrite: the structural-edit notice precedes the
+// first table edit, so a VMM drops shadow state before it can go stale.
+func TestCollapseNotifiesBeforeRewrite(t *testing.T) {
+	o, plat := newFailOS(t)
+	base, _ := collapseSetup(t, o)
+	if err := o.Collapse(1, base); err != nil {
+		t.Fatal(err)
+	}
+	if len(plat.structuralEdits) != 1 || plat.structuralEdits[0] != base {
+		t.Errorf("structural edits = %#v, want [%#x]", plat.structuralEdits, base)
+	}
+}

@@ -29,8 +29,20 @@ type Platform interface {
 	FreePage(pa uint64, size pagetable.Size)
 	// TLBInvalidate is the OS's INVLPG for one page of asid.
 	TLBInvalidate(asid uint16, va uint64)
+	// TLBInvalidateSpan invalidates every cached translation for the single
+	// page mapping [va, va+size). Natively one TLB entry covers the whole
+	// page, so this is a plain INVLPG; a hypervisor platform must also cover
+	// splintered entries when the host backs the page at a smaller size
+	// (a collapsed 2M guest page over 4K host pages caches up to 512
+	// distinct hardware translations).
+	TLBInvalidateSpan(asid uint16, va uint64, size pagetable.Size)
 	// TLBFlush is the OS's full TLB flush for asid.
 	TLBFlush(asid uint16)
+	// StructuralEdit is the OS's advance notice that [va, va+size) is about
+	// to be rebuilt at a different page-table level (THP collapse). Natively
+	// it is a range invalidation; under a VMM it additionally drops the
+	// covering shadow subtree before the guest tables change underneath it.
+	StructuralEdit(asid uint16, va uint64, size pagetable.Size)
 }
 
 // Stats counts guest OS activity.
@@ -55,6 +67,10 @@ var (
 	ErrNoProcess = errors.New("guest: no such process")
 	ErrNoRegion  = errors.New("guest: address outside any region")
 	ErrOverlap   = errors.New("guest: region overlaps existing mapping")
+	// ErrCollapseUnsuitable reports a THP collapse refused before any state
+	// changed: the range is not fully 4K-mapped, crosses a region boundary,
+	// or has no region at all. khugepaged simply skips such ranges.
+	ErrCollapseUnsuitable = errors.New("guest: range unsuitable for collapse")
 )
 
 // Region is a VMA: a contiguous range of the process address space with a
@@ -227,7 +243,7 @@ func (o *OS) Munmap(pid int, addr uint64) error {
 			return err
 		}
 		o.plat.FreePage(res.Entry.Addr(), res.Size)
-		o.plat.TLBInvalidate(p.ASID, base)
+		o.plat.TLBInvalidateSpan(p.ASID, base, res.Size)
 		o.stats.Unmapped++
 		delete(p.cow, base)
 	}
@@ -249,39 +265,74 @@ func (o *OS) Collapse(pid int, va uint64) error {
 		return err
 	}
 	base := pagetable.PageBase(va, pagetable.Size2M)
-	if p.regionAt(base) == nil {
-		return fmt.Errorf("%w: %#x", ErrNoRegion, base)
+	r := p.regionAt(base)
+	if r == nil {
+		return fmt.Errorf("%w: %w: %#x", ErrCollapseUnsuitable, ErrNoRegion, base)
 	}
-	// Verify the whole range is 4K-mapped and collect backing pages.
-	var oldPAs []uint64
-	var flags pagetable.Entry = pagetable.FlagUser | pagetable.FlagWrite
-	for off := uint64(0); off < pagetable.Size2M.Bytes(); off += 4096 {
-		res, lerr := p.PT.Lookup(base + off)
-		if lerr != nil {
-			return fmt.Errorf("guest: collapse of partially-mapped range %#x: %w", base, lerr)
+	if base < r.Base || base+pagetable.Size2M.Bytes() > r.End() {
+		return fmt.Errorf("%w: %#x crosses the boundary of region [%#x,%#x)",
+			ErrCollapseUnsuitable, base, r.Base, r.End())
+	}
+	// Verify the whole range is 4K-mapped, and record the old entries so a
+	// mid-rewrite failure can restore them. COW-shared pages are resolved by
+	// the copy the collapse itself performs (khugepaged collapses such
+	// ranges by copying into the new huge page): the old shared frames stay
+	// alive for their other referents and the 2M page comes up private.
+	var old [512]pagetable.Entry
+	for i := range old {
+		off := uint64(i) * pagetable.Size4K.Bytes()
+		res, ok := p.PT.TryLookup(base + off)
+		if !ok {
+			return fmt.Errorf("%w: %#x is not mapped", ErrCollapseUnsuitable, base+off)
 		}
 		if res.Size != pagetable.Size4K {
-			return fmt.Errorf("guest: %#x already mapped at %s", base+off, res.Size)
+			return fmt.Errorf("%w: %#x already mapped at %s", ErrCollapseUnsuitable, base+off, res.Size)
 		}
-		oldPAs = append(oldPAs, res.Entry.Addr())
+		old[i] = res.Entry
 	}
 	pa, err := o.plat.AllocPage(pagetable.Size2M)
 	if err != nil {
 		return err
 	}
-	for off := uint64(0); off < pagetable.Size2M.Bytes(); off += 4096 {
-		if err := p.PT.Unmap(base+off, pagetable.Size4K); err != nil {
+	// Notify the platform before the first table edit: under shadow or
+	// agile paging the VMM must drop the shadow subtree covering the range
+	// (and natively the whole range's TLB entries go) before the guest
+	// table is rebuilt underneath it.
+	o.plat.StructuralEdit(p.ASID, base, pagetable.Size2M)
+	restore := func(n int) {
+		for i := 0; i < n; i++ {
+			off := uint64(i) * pagetable.Size4K.Bytes()
+			_ = p.PT.Map(base+off, old[i].Addr(), pagetable.Size4K, old[i].Flags())
+		}
+		o.plat.FreePage(pa, pagetable.Size2M)
+		o.plat.TLBFlush(p.ASID)
+	}
+	for i := range old {
+		if err := p.PT.Unmap(base+uint64(i)*pagetable.Size4K.Bytes(), pagetable.Size4K); err != nil {
+			restore(i)
 			return err
 		}
 	}
 	p.PT.FreeEmpty() // release the now-empty leaf table so the slot can hold a 2M entry
-	if err := p.PT.Map(base, pa, pagetable.Size2M, flags|pagetable.FlagAccessed|pagetable.FlagDirty); err != nil {
+	flags := pagetable.FlagUser | pagetable.FlagAccessed
+	if r.Writable {
+		// The copy into the new huge page dirties it; a read-only region's
+		// collapse stays read-only (and the next write faults as usual).
+		flags |= pagetable.FlagWrite | pagetable.FlagDirty
+	}
+	if err := p.PT.Map(base, pa, pagetable.Size2M, flags); err != nil {
+		restore(len(old))
 		return err
 	}
-	for _, old := range oldPAs {
-		o.plat.FreePage(old, pagetable.Size4K)
+	for i, e := range old {
+		off := uint64(i) * pagetable.Size4K.Bytes()
+		if p.cow[base+off] {
+			// Still shared with another snapshot; not ours to free.
+			delete(p.cow, base+off)
+			continue
+		}
+		o.plat.FreePage(e.Addr(), pagetable.Size4K)
 	}
-	o.plat.TLBInvalidate(p.ASID, base)
 	o.stats.Collapses++
 	return nil
 }
@@ -390,7 +441,7 @@ func (o *OS) breakCOW(p *Process, r *Region, va uint64, res pagetable.WalkResult
 		return err
 	}
 	delete(p.cow, va)
-	o.plat.TLBInvalidate(p.ASID, va)
+	o.plat.TLBInvalidateSpan(p.ASID, pagetable.PageBase(va, res.Size), res.Size)
 	o.stats.COWBreaks++
 	return nil
 }
@@ -424,14 +475,14 @@ func (o *OS) ReclaimScan(pid int, n int) (evicted int, err error) {
 			if err := p.PT.ClearFlags(l.VA, pagetable.FlagAccessed); err != nil {
 				return evicted, err
 			}
-			o.plat.TLBInvalidate(p.ASID, l.VA)
+			o.plat.TLBInvalidateSpan(p.ASID, l.VA, l.Size)
 			continue
 		}
 		if err := p.PT.Unmap(l.VA, l.Size); err != nil {
 			return evicted, err
 		}
 		o.plat.FreePage(l.Entry.Addr(), l.Size)
-		o.plat.TLBInvalidate(p.ASID, l.VA)
+		o.plat.TLBInvalidateSpan(p.ASID, l.VA, l.Size)
 		o.stats.Unmapped++
 		o.stats.ReclaimEvicted++
 		evicted++

@@ -10,10 +10,11 @@ import (
 
 // fakePlatform backs pages from simulated memory and records invalidations.
 type fakePlatform struct {
-	mem         *memsim.Memory
-	invalidates []uint64
-	flushes     int
-	freed       []uint64
+	mem             *memsim.Memory
+	invalidates     []uint64
+	flushes         int
+	freed           []uint64
+	structuralEdits []uint64
 }
 
 func newFakePlatform() *fakePlatform {
@@ -41,7 +42,15 @@ func (f *fakePlatform) TLBInvalidate(asid uint16, va uint64) {
 	f.invalidates = append(f.invalidates, va)
 }
 
+func (f *fakePlatform) TLBInvalidateSpan(asid uint16, va uint64, size pagetable.Size) {
+	f.invalidates = append(f.invalidates, va)
+}
+
 func (f *fakePlatform) TLBFlush(asid uint16) { f.flushes++ }
+
+func (f *fakePlatform) StructuralEdit(asid uint16, va uint64, size pagetable.Size) {
+	f.structuralEdits = append(f.structuralEdits, va)
+}
 
 func newOS(t *testing.T) (*OS, *fakePlatform) {
 	t.Helper()

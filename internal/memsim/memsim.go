@@ -282,6 +282,17 @@ func (m *Memory) WriteEntry(f Frame, idx int, val uint64) {
 	m.pool[m.tableIdx[f]-1][idx] = val
 }
 
+// ZeroTable clears every entry of the page-table page in frame f — the OS
+// zeroing a page before linking it into a page table. Frames freed while
+// still holding entries would otherwise resurface with stale contents when
+// the allocator recycles them.
+func (m *Memory) ZeroTable(f Frame) {
+	if uint64(f) >= uint64(len(m.tableIdx)) || m.tableIdx[f] == 0 {
+		panic(fmt.Sprintf("memsim: zero of non-table frame %#x", uint64(f)))
+	}
+	m.pool[m.tableIdx[f]-1] = [EntriesPerTable]uint64{}
+}
+
 // Reset returns the memory to its pristine post-New state without
 // releasing any backing capacity: every frame is freed, the bump pointer
 // restarts at frame 1, and all arena slots become available for recycling.

@@ -18,6 +18,7 @@ var (
 	ErrAlreadyMapped = errors.New("pagetable: address already mapped")
 	ErrMisaligned    = errors.New("pagetable: misaligned address")
 	ErrSplinter      = errors.New("pagetable: mapping conflicts with existing large page")
+	ErrSwitching     = errors.New("pagetable: walk path blocked by a switching entry")
 )
 
 // Space abstracts the address space the table's pointers are expressed in.
@@ -76,12 +77,22 @@ func (h HostSpace) FreeTablePage(pa uint64) error {
 // entry index, and old/new the entry values.
 type WriteHook func(pageAddr uint64, level, idx int, old, new Entry)
 
+// FreeHook observes every table page released back to the Space by a
+// structural prune (FreeEmpty) or teardown (Destroy). The VMM installs one
+// on each guest page table so it can tear down write-protect tracking and
+// the covering shadow subtree *before* the guest table page is freed — the
+// shadow-invalidation contract for structural guest page-table edits. The
+// hook fires with the page still registered (Info still answers for it) and
+// before the Space reclaims it.
+type FreeHook func(pageAddr uint64, level int, vaBase uint64)
+
 // Table is a four-level hierarchical page table.
 type Table struct {
 	mem   *memsim.Memory
 	space Space
 	root  uint64
 	hook  WriteHook
+	fhook FreeHook
 
 	// levelOf records the depth of every table page so hooks and scans can
 	// attribute writes to a page-table level, keyed by in-space address.
@@ -141,6 +152,10 @@ func (t *Table) Space() Space { return t.space }
 // removes the hook.
 func (t *Table) SetWriteHook(h WriteHook) { t.hook = h }
 
+// SetFreeHook installs h as the observer of all table-page frees performed
+// by FreeEmpty and Destroy. Passing nil removes the hook.
+func (t *Table) SetFreeHook(h FreeHook) { t.fhook = h }
+
 // LevelOf reports the level of the table page at in-space address pa, or
 // -1 if pa is not one of this table's pages.
 func (t *Table) LevelOf(pa uint64) int {
@@ -192,6 +207,12 @@ func (t *Table) ensureTable(pageAddr uint64, level, idx int, vaBase uint64) (uin
 	if e.Present() {
 		if e.Huge() {
 			return 0, ErrSplinter
+		}
+		if e.Switching() {
+			// A switching entry's address is a *guest* table pointer in
+			// another physical space (paper §III-A); descending through it
+			// would walk foreign memory.
+			return 0, ErrSwitching
 		}
 		return e.Addr(), nil
 	}
@@ -276,6 +297,9 @@ func (t *Table) leafSlot(va uint64, size Size) (pageAddr uint64, idx, level int,
 		if e.Huge() {
 			return 0, 0, 0, fmt.Errorf("%w: va=%#x mapped by level-%d large page", ErrSplinter, va, level)
 		}
+		if e.Switching() {
+			return 0, 0, 0, fmt.Errorf("%w: va=%#x at level %d", ErrSwitching, va, level)
+		}
 		pageAddr = e.Addr()
 	}
 	idx = IndexAt(va, leaf)
@@ -330,6 +354,11 @@ func (t *Table) lookup(va uint64) (WalkResult, int, bool) {
 				PA:    e.Addr() | va&size.Mask(),
 			}, level, true
 		}
+		if e.Switching() {
+			// The translation continues in another table (nested mode); it
+			// does not terminate in this one.
+			return WalkResult{}, level, false
+		}
 		pageAddr = e.Addr()
 	}
 	panic("pagetable: unreachable")
@@ -360,6 +389,9 @@ func (t *Table) updateLeaf(va uint64, fn func(Entry) Entry) error {
 			t.writeEntry(pageAddr, level, idx, fn(e))
 			return nil
 		}
+		if e.Switching() {
+			return fmt.Errorf("%w: va=%#x at level %d", ErrSwitching, va, level)
+		}
 		pageAddr = e.Addr()
 	}
 	panic("pagetable: unreachable")
@@ -376,6 +408,9 @@ func (t *Table) EntryAt(va uint64, level int) (Entry, error) {
 		e := t.readEntry(pageAddr, IndexAt(va, l))
 		if !e.Present() || e.Huge() {
 			return 0, fmt.Errorf("%w: va=%#x has no level-%d entry", ErrNotMapped, va, level)
+		}
+		if e.Switching() {
+			return 0, fmt.Errorf("%w: va=%#x at level %d", ErrSwitching, va, l)
 		}
 		pageAddr = e.Addr()
 	}
@@ -394,6 +429,9 @@ func (t *Table) SetEntryAt(va uint64, level int, val Entry) error {
 		e := t.readEntry(pageAddr, IndexAt(va, l))
 		if !e.Present() || e.Huge() {
 			return fmt.Errorf("%w: va=%#x has no level-%d entry", ErrNotMapped, va, level)
+		}
+		if e.Switching() {
+			return fmt.Errorf("%w: va=%#x at level %d", ErrSwitching, va, l)
 		}
 		pageAddr = e.Addr()
 	}
@@ -446,6 +484,9 @@ func (t *Table) visit(pageAddr uint64, level int, vaBase uint64, fn func(Leaf) b
 			}
 			continue
 		}
+		if e.Switching() {
+			continue // translation continues in another table; no leaf here
+		}
 		if !t.visit(e.Addr(), level+1, va, fn) {
 			return false
 		}
@@ -462,6 +503,8 @@ func (t *Table) CountLeaves() int {
 
 // FreeEmpty prunes interior table pages that no longer contain any present
 // entries, returning the number of pages freed. The root is never freed.
+// Each freed page is announced through the free hook first, so a VMM can
+// invalidate derived shadow state before the page returns to the Space.
 func (t *Table) FreeEmpty() int {
 	freed := 0
 	var prune func(pageAddr uint64, level int) bool // returns "page is empty"
@@ -477,14 +520,16 @@ func (t *Table) FreeEmpty() int {
 				empty = false
 				continue
 			}
+			if e.Switching() {
+				// The target is a table page of another space; it is not
+				// ours to scan or free.
+				empty = false
+				continue
+			}
 			if prune(e.Addr(), level+1) {
 				child := e.Addr()
 				t.writeEntry(pageAddr, level, idx, 0)
-				delete(t.levelOf, child)
-				delete(t.vaBaseOf, child)
-				if err := t.space.FreeTablePage(child); err == nil {
-					freed++
-				}
+				freed += t.freePage(child)
 			} else {
 				empty = false
 			}
@@ -493,6 +538,77 @@ func (t *Table) FreeEmpty() int {
 	}
 	prune(t.root, 0)
 	return freed
+}
+
+// freePage announces and releases one of the table's own pages, returning 1
+// if the Space accepted the free. The hook fires while the page is still
+// registered, so Info answers for it inside the callback.
+func (t *Table) freePage(pageAddr uint64) int {
+	if t.fhook != nil {
+		t.fhook(pageAddr, t.levelOf[pageAddr], t.vaBaseOf[pageAddr])
+	}
+	delete(t.levelOf, pageAddr)
+	delete(t.vaBaseOf, pageAddr)
+	if err := t.space.FreeTablePage(pageAddr); err != nil {
+		return 0
+	}
+	return 1
+}
+
+// ZapSubtree clears the entry at the given level along va's walk path and
+// releases every page of this table reachable only through it. It is the
+// subtree form of shadow invalidation: when a guest prunes a table page, the
+// VMM must drop the whole covering shadow subtree, not just one entry.
+//
+// A switching entry at the target slot is cleared without being
+// dereferenced (its address belongs to another table). A switching entry or
+// hole anywhere above the target means no state of this table covers va at
+// that level, so there is nothing to zap. It reports whether an entry was
+// cleared and how many table pages were freed.
+func (t *Table) ZapSubtree(va uint64, level int) (zapped bool, freed int) {
+	if level < 0 || level >= NumLevels {
+		return false, 0
+	}
+	pageAddr := t.root
+	for l := 0; l < level; l++ {
+		e := t.readEntry(pageAddr, IndexAt(va, l))
+		if !e.Present() || e.Huge() || e.Switching() {
+			return false, 0
+		}
+		pageAddr = e.Addr()
+	}
+	idx := IndexAt(va, level)
+	e := t.readEntry(pageAddr, idx)
+	if !e.Present() {
+		return false, 0
+	}
+	if !e.Switching() {
+		_, leafOK := SizeAtLevel(level)
+		if level != NumLevels-1 && !(e.Huge() && leafOK) {
+			freed = t.freeSubtree(e.Addr(), level+1)
+		}
+	}
+	t.writeEntry(pageAddr, level, idx, 0)
+	return true, freed
+}
+
+// freeSubtree releases the table page at pageAddr and everything below it
+// (the slot pointing at it has already been, or is about to be, cleared).
+// Switching entries are left alone: their targets live in another table.
+func (t *Table) freeSubtree(pageAddr uint64, level int) int {
+	freed := 0
+	for idx := 0; idx < memsim.EntriesPerTable; idx++ {
+		e := t.readEntry(pageAddr, idx)
+		if !e.Present() || e.Switching() {
+			continue
+		}
+		_, leafOK := SizeAtLevel(level)
+		if level == NumLevels-1 || (e.Huge() && leafOK) {
+			continue
+		}
+		freed += t.freeSubtree(e.Addr(), level+1)
+	}
+	return freed + t.freePage(pageAddr)
 }
 
 // Reset discards every mapping and re-roots the table on a freshly
@@ -520,7 +636,7 @@ func (t *Table) Destroy() {
 	free = func(pageAddr uint64, level int) {
 		for idx := 0; idx < memsim.EntriesPerTable; idx++ {
 			e := t.readEntry(pageAddr, idx)
-			if !e.Present() {
+			if !e.Present() || e.Switching() {
 				continue
 			}
 			_, leafOK := SizeAtLevel(level)
@@ -528,6 +644,9 @@ func (t *Table) Destroy() {
 				continue
 			}
 			free(e.Addr(), level+1)
+		}
+		if t.fhook != nil {
+			t.fhook(pageAddr, level, t.vaBaseOf[pageAddr])
 		}
 		delete(t.levelOf, pageAddr)
 		delete(t.vaBaseOf, pageAddr)

@@ -25,6 +25,11 @@ type ModeOracle interface {
 // propagation events).
 type WriteListener func(gptPage uint64, level, idx int, old, new pagetable.Entry)
 
+// FreeListener observes the guest OS freeing a guest page-table page (a
+// structural edit: table pruning after unmap or THP collapse). The agile
+// policy must drop its per-page mode state so a recycled gPA starts clean.
+type FreeListener func(gptPage uint64)
+
 // FaultOutcome is the disposition of a shadow-fault VM exit.
 type FaultOutcome int
 
@@ -47,8 +52,9 @@ type Context struct {
 	gpt  *pagetable.Table
 	spt  *pagetable.Table // nil under pure nested paging
 
-	oracle   ModeOracle
-	listener WriteListener
+	oracle       ModeOracle
+	listener     WriteListener
+	freeListener FreeListener
 
 	// protected holds guest-physical addresses of guest PT pages the VMM
 	// intercepts writes to (the shadow-covered parts, paper §III-B).
@@ -91,6 +97,7 @@ func (vm *VM) NewProcess(asid uint16) (*Context, error) {
 		}
 		ctx.spt = spt
 		gpt.SetWriteHook(ctx.onGuestPTWrite)
+		gpt.SetFreeHook(ctx.onGuestTableFree)
 	}
 	vm.ctxs[asid] = ctx
 	if vm.current == nil {
@@ -116,6 +123,9 @@ func (ctx *Context) SetOracle(o ModeOracle) { ctx.oracle = o }
 
 // SetWriteListener installs the protected-write observer.
 func (ctx *Context) SetWriteListener(l WriteListener) { ctx.listener = l }
+
+// SetFreeListener installs the guest-table-free observer.
+func (ctx *Context) SetFreeListener(l FreeListener) { ctx.freeListener = l }
 
 // FullNested reports whether the context currently runs fully nested.
 func (ctx *Context) FullNested() bool { return ctx.fullNested }
@@ -218,16 +228,17 @@ func (ctx *Context) onGuestPTWrite(pageAddr uint64, level, idx int, old, new pag
 	}
 }
 
-// zapShadow invalidates the shadow entry (and hardware state) covering the
-// given gVA at the given level.
+// zapShadow invalidates the shadow state (and hardware caches) covering the
+// given gVA at the given level. Because an interior guest entry summarizes a
+// whole subtree, the invalidation is a subtree zap: the covering shadow
+// entry is cleared and every shadow table page reachable only through it is
+// freed, so no shadow state derived from the edited guest subtree survives.
 func (ctx *Context) zapShadow(gva uint64, level int) {
 	if ctx.spt == nil {
 		return
 	}
-	if e, err := ctx.spt.EntryAt(gva, level); err == nil && e.Present() {
-		if err := ctx.spt.SetEntryAt(gva, level, 0); err == nil {
-			ctx.vm.stats.ShadowEntriesZapped++
-		}
+	if zapped, _ := ctx.spt.ZapSubtree(gva, level); zapped {
+		ctx.vm.stats.ShadowEntriesZapped++
 	}
 	if level == pagetable.NumLevels-1 {
 		ctx.vm.mmu.InvalidatePage(ctx.asid, gva)
@@ -236,6 +247,61 @@ func (ctx *Context) zapShadow(gva uint64, level int) {
 		// An interior change invalidates a whole range; flush the space.
 		ctx.FlushHW()
 	}
+}
+
+// onGuestTableFree is the free hook installed on the guest page table: the
+// VMM's half of the shadow-invalidation contract for structural guest edits.
+// When the guest OS prunes a table page, the VMM must (1) stop intercepting
+// writes to the now-recyclable gPA, (2) drop the shadow subtree that was
+// derived from it — including a switching entry pointing at it — and (3)
+// tell the agile policy to forget the page's mode state. The hook runs
+// before the gPA returns to the guest allocator, so nothing can recycle it
+// while stale state remains.
+func (ctx *Context) onGuestTableFree(pageAddr uint64, level int, vaBase uint64) {
+	ctx.Unprotect(pageAddr)
+	if ctx.spt != nil {
+		if level == 0 {
+			// The root itself is going away (process teardown); any
+			// root-switch state dies with it.
+			ctx.rootSwitch = false
+			ctx.FlushHW()
+		} else if zapped, _ := ctx.spt.ZapSubtree(vaBase, level-1); zapped {
+			// The covering shadow entry sat in the parent slot pointing at
+			// this guest page's span — clear it and everything below.
+			ctx.vm.stats.ShadowEntriesZapped++
+			if level-1 == pagetable.NumLevels-1 {
+				ctx.vm.mmu.InvalidatePage(ctx.asid, vaBase)
+				ctx.vm.mmu.PWCInvalidateVA(ctx.asid, vaBase)
+			} else {
+				ctx.FlushHW()
+			}
+		}
+	}
+	if ctx.freeListener != nil {
+		ctx.freeListener(pageAddr)
+	}
+}
+
+// StructuralEdit is the guest OS's advance notice of a structural page-table
+// edit (THP collapse): the span [va, va+size) is about to be rebuilt at a
+// different level. The VMM drops the covering shadow subtree and cached
+// hardware translations for the span. Under shadow (and shadow-covered
+// agile) operation the accompanying range invalidation is a VM exit, like
+// the full-flush a real guest issues when a range invalidation exceeds the
+// batching ceiling. The per-entry unmap writes still trap individually —
+// that per-edit interception cost is exactly what the paper charges shadow
+// paging for.
+func (ctx *Context) StructuralEdit(va uint64, size pagetable.Size) {
+	base := va &^ size.Mask()
+	if ctx.spt != nil {
+		if zapped, _ := ctx.spt.ZapSubtree(base, size.LeafLevel()); zapped {
+			ctx.vm.stats.ShadowEntriesZapped++
+		}
+		if !ctx.fullNested && !ctx.rootSwitch {
+			ctx.vm.trap(TrapTLBFlush)
+		}
+	}
+	ctx.FlushHW()
 }
 
 // ErrNotShadowed reports a shadow operation on a context without a shadow
@@ -307,6 +373,18 @@ func (ctx *Context) prefetchFill(gva uint64, level int, size pagetable.Size) {
 			continue
 		}
 		if _, leafOK := pagetable.SizeAtLevel(level); level != pagetable.NumLevels-1 && (!ge.Huge() || !leafOK) {
+			continue
+		}
+		// Only prefetch entries the guest already marked accessed. The VMM
+		// emulates guest A/D bits for shadow-covered leaves, and a
+		// speculative fill must not fabricate an access the guest never
+		// made: filling an A-clear entry would either set guest A for an
+		// untouched page or create a mapping whose first real access the
+		// VMM can no longer observe. Either way the guest's clock reclaim
+		// sees different reference bits than it would natively. A-clear
+		// entries take the ordinary shadow fault on first touch, which
+		// sets guest A exactly when a native walk would.
+		if !ge.Accessed() {
 			continue
 		}
 		_ = ctx.fillShadowLeaf(va, level, size, ge, false)
@@ -466,6 +544,37 @@ func (ctx *Context) GuestTLBFlush(gva uint64, all bool) {
 		return
 	}
 	ctx.invalidateGVA(gva)
+}
+
+// GuestTLBFlushSpan models a guest invalidation of one page whose mapping
+// covers [gva, gva+size). When the host backs the guest page at its full
+// size a single hardware entry caches the translation and this degenerates
+// to GuestTLBFlush. When the host page size is smaller — a collapsed 2M
+// guest page over 4K host pages — the hardware TLB holds up to 512
+// *splintered* entries for the one guest mapping, and invalidating only the
+// base VA would leave the rest serving stale (or freed) translations. The
+// guest issues one logical invalidation, so the trap decision is made once
+// for the whole span, then every splintered sub-VA is dropped.
+func (ctx *Context) GuestTLBFlushSpan(gva uint64, size pagetable.Size) {
+	base := pagetable.PageBase(gva, size)
+	if size == pagetable.Size4K || ctx.vm.cfg.HostPageSize.Bytes() >= size.Bytes() {
+		ctx.GuestTLBFlush(base, false)
+		return
+	}
+	trap := false
+	switch ctx.vm.cfg.Technique {
+	case walker.ModeShadow:
+		trap = true
+	case walker.ModeAgile:
+		trap = ctx.shadowCovered(base)
+	}
+	if trap {
+		ctx.vm.trap(TrapTLBFlush)
+	}
+	step := pagetable.Size4K.Bytes()
+	for off := uint64(0); off < size.Bytes(); off += step {
+		ctx.invalidateGVA(base + off)
+	}
 }
 
 // leafSlot locates the guest leaf entry mapping gva: the guest-physical

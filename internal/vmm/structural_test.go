@@ -1,0 +1,144 @@
+package vmm
+
+import (
+	"testing"
+
+	"agilepaging/internal/pagetable"
+	"agilepaging/internal/walker"
+)
+
+// buildShadow2MSpan maps n 4K guest pages at the start of gva's 2M span and
+// faults them into the shadow table, returning the gPA of the guest leaf
+// table page covering the span.
+func buildShadow2MSpan(t *testing.T, vm *VM, ctx *Context, gva uint64, n int) (leafPage uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		va := gva + uint64(i)<<12
+		gpa, err := vm.AllocGPA(pagetable.Size4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.GPT().Map(va, gpa, pagetable.Size4K, pagetable.FlagWrite|pagetable.FlagUser); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.HandleShadowFault(va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, _, _, _, ok := ctx.leafSlot(gva)
+	if !ok {
+		t.Fatal("no guest leaf slot after setup")
+	}
+	return page
+}
+
+// TestGuestTableFreeTearsDownShadowState pins the VMM half of the
+// shadow-invalidation contract: when the guest prunes a leaf table page, the
+// covering shadow subtree is zapped, write-protect tracking for the page is
+// dropped, and the policy's free listener hears about it — all before the
+// gPA can be recycled.
+func TestGuestTableFreeTearsDownShadowState(t *testing.T) {
+	vm, _ := newTestVM(t, walker.ModeShadow)
+	ctx, err := vm.NewProcess(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gva := uint64(0x7f00_0020_0000)
+	leafPage := buildShadow2MSpan(t, vm, ctx, gva, 4)
+	if !ctx.IsProtected(leafPage) {
+		t.Fatal("guest leaf table not protected after shadow fill")
+	}
+	if _, ok := ctx.SPT().TryLookup(gva); !ok {
+		t.Fatal("shadow translation missing after fill")
+	}
+
+	var freed []uint64
+	ctx.SetFreeListener(func(page uint64) { freed = append(freed, page) })
+
+	for i := 0; i < 4; i++ {
+		if err := ctx.GPT().Unmap(gva+uint64(i)<<12, pagetable.Size4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sptPagesBefore := len(ctx.SPT().TablePages())
+	if ctx.GPT().FreeEmpty() == 0 {
+		t.Fatal("FreeEmpty pruned nothing")
+	}
+
+	if ctx.IsProtected(leafPage) {
+		t.Error("pruned guest table page still write-protected")
+	}
+	if _, ok := ctx.SPT().TryLookup(gva); ok {
+		t.Error("shadow translation survived the guest table prune")
+	}
+	found := false
+	for _, p := range freed {
+		if p == leafPage {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("free listener did not hear about leaf page %#x (got %#x)", leafPage, freed)
+	}
+	if got := len(ctx.SPT().TablePages()); got >= sptPagesBefore {
+		t.Errorf("shadow subtree pages not released: %d -> %d", sptPagesBefore, got)
+	}
+}
+
+// TestStructuralEditZapsShadowAndTraps pins the advance-notice hook: a
+// structural edit of a 2M span drops the covering shadow subtree, costs one
+// TLB-flush VM exit under shadow-covered operation, and flushes hardware
+// state.
+func TestStructuralEditZapsShadowAndTraps(t *testing.T) {
+	vm, mmu := newTestVM(t, walker.ModeShadow)
+	ctx, err := vm.NewProcess(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gva := uint64(0x7f00_0020_0000)
+	buildShadow2MSpan(t, vm, ctx, gva, 4)
+
+	zapsBefore := vm.Stats().ShadowEntriesZapped
+	trapsBefore := vm.Stats().Traps[TrapTLBFlush]
+	flushesBefore := mmu.flushes
+	ctx.StructuralEdit(gva, pagetable.Size2M)
+
+	if _, ok := ctx.SPT().TryLookup(gva); ok {
+		t.Error("shadow translation survived StructuralEdit")
+	}
+	if got := vm.Stats().ShadowEntriesZapped; got != zapsBefore+1 {
+		t.Errorf("ShadowEntriesZapped = %d, want %d", got, zapsBefore+1)
+	}
+	if got := vm.Stats().Traps[TrapTLBFlush]; got != trapsBefore+1 {
+		t.Errorf("TLB-flush traps = %d, want %d", got, trapsBefore+1)
+	}
+	if mmu.flushes <= flushesBefore {
+		t.Error("StructuralEdit did not flush hardware state")
+	}
+
+	// A second notice for the same (now shadow-free) span still flushes but
+	// zaps nothing further.
+	zapsBefore = vm.Stats().ShadowEntriesZapped
+	ctx.StructuralEdit(gva, pagetable.Size2M)
+	if got := vm.Stats().ShadowEntriesZapped; got != zapsBefore {
+		t.Errorf("second StructuralEdit zapped %d entries, want 0", got-zapsBefore)
+	}
+}
+
+// TestStructuralEditNestedNoTrap: under pure nested paging there is no
+// shadow state to resync, so a structural edit costs no VM exit — the
+// direct-update advantage the paper credits nested mode with.
+func TestStructuralEditNestedNoTrap(t *testing.T) {
+	vm, mmu := newTestVM(t, walker.ModeNested)
+	ctx, err := vm.NewProcess(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.StructuralEdit(0x7f00_0020_0000, pagetable.Size2M)
+	if got := vm.Stats().Traps[TrapTLBFlush]; got != 0 {
+		t.Errorf("nested structural edit trapped %d times, want 0", got)
+	}
+	if mmu.flushes == 0 {
+		t.Error("nested structural edit must still flush cached translations")
+	}
+}

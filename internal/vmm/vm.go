@@ -501,6 +501,11 @@ func (g guestPhysSpace) AllocTablePage() (uint64, error) {
 	if err := g.vm.mem.MaterializeTable(memsim.FrameOf(hpa)); err != nil {
 		return 0, err
 	}
+	// The guest OS zeroes a page before using it as a page table. Guest
+	// table frames stay materialized across FreeTablePage (the host frame
+	// is still guest RAM), so a recycled gPA could otherwise resurface with
+	// the previous table's entries.
+	g.vm.mem.ZeroTable(memsim.FrameOf(hpa))
 	return gpa, nil
 }
 

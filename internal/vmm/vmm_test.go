@@ -921,3 +921,103 @@ func TestDedupAcrossVMs(t *testing.T) {
 		t.Errorf("same-VM delegate: %v", err)
 	}
 }
+
+// TestShadowPrefetchSkipsAccessedClearEntries pins the A/D-emulation rule
+// for speculative fills: a shadow-fill VM exit prefetches sibling guest
+// entries only when the guest already marked them accessed. Prefetching an
+// A-clear entry would either fabricate a reference the guest never made or
+// hide the first real access from the VMM — both make the guest's clock
+// reclaim see different accessed bits than it would natively (found by the
+// diffcheck fuzzer as a native-vs-shadow eviction divergence).
+func TestShadowPrefetchSkipsAccessedClearEntries(t *testing.T) {
+	vm, _ := newTestVM(t, walker.ModeShadow)
+	ctx, _ := vm.NewProcess(9)
+	base := uint64(0x5000_0000) // aligned to the 8-entry prefetch block
+	for i := uint64(0); i < prefetchNum; i++ {
+		gpa, err := vm.AllocGPA(pagetable.Size4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flags := pagetable.FlagWrite | pagetable.FlagUser
+		if i%2 == 0 {
+			flags |= pagetable.FlagAccessed
+		}
+		if err := ctx.GPT().Map(base+i*4096, gpa, pagetable.Size4K, flags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fault on entry 0 (A set): entries 2, 4, 6 prefetch; 1, 3, 5, 7 must
+	// stay unfilled with guest A untouched.
+	if _, err := ctx.HandleShadowFault(base, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < prefetchNum; i++ {
+		gva := base + i*4096
+		_, filled := ctx.SPT().TryLookup(gva)
+		gr, _ := ctx.GPT().Lookup(gva)
+		if i%2 == 0 {
+			if !filled {
+				t.Errorf("entry %d (A set) not prefetched", i)
+			}
+			continue
+		}
+		if filled {
+			t.Errorf("entry %d (A clear) was prefetched", i)
+		}
+		if gr.Entry.Accessed() {
+			t.Errorf("entry %d: prefetch set guest A for an untouched page", i)
+		}
+	}
+	// The first real access to an A-clear sibling faults and sets guest A,
+	// exactly when a native walk would have.
+	if _, err := ctx.HandleShadowFault(base+3*4096, false); err != nil {
+		t.Fatal(err)
+	}
+	gr, _ := ctx.GPT().Lookup(base + 3*4096)
+	if !gr.Entry.Accessed() {
+		t.Error("guest A not set by the demand fill")
+	}
+}
+
+// TestGuestTLBFlushSpanSplintered pins the span-flush contract: when the
+// host backs a 2M guest page with 4K pages, the hardware TLB can hold up
+// to 512 splintered entries for the one guest mapping, so a guest
+// invalidation of that page must drop every 4K sub-VA — but it is still a
+// single guest instruction, so shadow paging charges exactly one VM exit.
+func TestGuestTLBFlushSpanSplintered(t *testing.T) {
+	vm, mmu := newTestVM(t, walker.ModeShadow) // host page size 4K
+	ctx, _ := vm.NewProcess(4)
+	before := vm.Stats().Traps[TrapTLBFlush]
+	ctx.GuestTLBFlushSpan(0x4000_0123, pagetable.Size2M)
+	if got := len(mmu.invalidates); got != 512 {
+		t.Errorf("invalidated %d sub-VAs, want 512", got)
+	}
+	if len(mmu.invalidates) > 0 {
+		if mmu.invalidates[0] != 0x4000_0000 {
+			t.Errorf("first invalidation %#x, want span base 0x40000000", mmu.invalidates[0])
+		}
+	}
+	if got := vm.Stats().Traps[TrapTLBFlush] - before; got != 1 {
+		t.Errorf("TLB-flush traps = %d, want 1 (one guest instruction)", got)
+	}
+}
+
+// TestGuestTLBFlushSpanUnsplintered: with the host backing at the guest's
+// size there is one hardware entry and the span flush degenerates to the
+// single-page GuestTLBFlush.
+func TestGuestTLBFlushSpanUnsplintered(t *testing.T) {
+	mem := memsim.New(512 << 20)
+	mmu := &recordingMMU{}
+	cfg := DefaultConfig(walker.ModeShadow)
+	cfg.RAMBytes = 64 << 20
+	cfg.HostPageSize = pagetable.Size2M
+	vm, err := New(mem, mmu, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := vm.NewProcess(4)
+	ctx.GuestTLBFlushSpan(0x4000_0123, pagetable.Size2M)
+	if got := len(mmu.invalidates); got != 1 {
+		t.Errorf("invalidated %d VAs, want 1", got)
+	}
+}

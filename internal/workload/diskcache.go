@@ -40,14 +40,14 @@ func streamCacheKey(prof Profile, pageSize pagetable.Size, accesses int, seed in
 	// string only when set, but packedEncoderVersion is bumped on format
 	// changes and profile changes alter the fields themselves, so the hash
 	// tracks content exactly.
-	fmt.Fprintf(h, "v%d|%q|%d|%d|%g|%g|%t|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+	fmt.Fprintf(h, "v%d|%q|%d|%d|%g|%g|%t|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
 		packedEncoderVersion,
 		prof.Name, prof.FootprintBytes, prof.Pattern,
 		prof.ZipfS, prof.WriteRatio, prof.PrePopulate,
 		prof.Processes, prof.CtxSwitchEvery, prof.Threads,
 		prof.MmapChurnEvery, prof.ChurnRegionBytes, prof.ChurnRegions,
 		prof.CowEvery, prof.CowRegionBytes,
-		prof.ReclaimEvery, prof.ReclaimPages)
+		prof.ReclaimEvery, prof.ReclaimPages, prof.CollapseEvery)
 	fmt.Fprintf(h, "|ps%d|n%d|s%d", pageSize, accesses, seed)
 	return fmt.Sprintf("stream-%x.aps", h.Sum(nil)[:16])
 }

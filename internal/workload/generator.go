@@ -44,6 +44,14 @@ type Profile struct {
 	// ReclaimPages pages (memory-pressure behaviour, paper §V).
 	ReclaimEvery int
 	ReclaimPages int
+
+	// THP collapse: every CollapseEvery accesses, a rotating 2M-aligned
+	// chunk of the current process's main footprint is fully written (so
+	// khugepaged would deem it hot and fully populated) and then collapsed
+	// into a 2M mapping — the structural page-table rewrite of paper §V
+	// "Large Page Support". Only meaningful with a 4K page-size policy;
+	// ignored otherwise. 0 disables.
+	CollapseEvery int
 }
 
 // Synthetic is the deterministic op-stream generator for a Profile.
@@ -62,11 +70,12 @@ type Synthetic struct {
 	queue    []Op
 	head     int
 	emitted  int // steady-phase accesses emitted so far
-	curPID   int
-	churnGen map[int]int // churn events so far, per process
-	cowBase  uint64
-	cowReady bool
-	done     bool
+	curPID      int
+	churnGen    map[int]int // churn events so far, per process
+	collapseGen map[int]int // collapse events so far, per process
+	cowBase     uint64
+	cowReady    bool
+	done        bool
 }
 
 // New creates a generator that will emit the setup ops for prof and then
@@ -92,6 +101,7 @@ func (g *Synthetic) init() {
 	g.emitted = 0
 	g.curPID = 0
 	g.churnGen = make(map[int]int)
+	g.collapseGen = make(map[int]int)
 	g.cowReady = false
 	g.done = false
 
@@ -140,6 +150,9 @@ func (g *Synthetic) SizeHint() int {
 	if p.CtxSwitchEvery > 0 {
 		n += g.accesses / p.CtxSwitchEvery
 	}
+	if p.CollapseEvery > 0 && g.pageSize == pagetable.Size4K {
+		n += g.accesses / p.CollapseEvery * (1 + 512)
+	}
 	return n
 }
 
@@ -184,6 +197,9 @@ func (g *Synthetic) Next() (Op, bool) {
 	}
 	if g.prof.ReclaimEvery > 0 && i%g.prof.ReclaimEvery == 0 {
 		g.push(Op{Kind: OpReclaim, PID: g.curPID, N: g.prof.ReclaimPages})
+	}
+	if g.prof.CollapseEvery > 0 && i%g.prof.CollapseEvery == 0 {
+		g.pushCollapseEvent()
 	}
 
 	g.push(g.patternAccess())
@@ -230,6 +246,26 @@ func (g *Synthetic) pushMmapChurn() {
 	for off := uint64(0); off < g.prof.ChurnRegionBytes; off += 4096 {
 		g.push(Op{Kind: OpAccess, PID: pid, VA: base + off, Write: true})
 	}
+}
+
+// pushCollapseEvent writes every 4K page of a rotating 2M-aligned chunk of
+// the current process's main footprint (khugepaged collapses hot, fully
+// populated ranges) and then collapses it. Chunks past the first rotation
+// are already 2M-mapped; the OS refuses those collapses as unsuitable, which
+// costs the stream nothing. Requires a 4K page-size policy and a footprint
+// of at least one 2M chunk.
+func (g *Synthetic) pushCollapseEvent() {
+	if g.pageSize != pagetable.Size4K || g.prof.FootprintBytes < pagetable.Size2M.Bytes() {
+		return
+	}
+	pid := g.curPID
+	chunks := g.prof.FootprintBytes / pagetable.Size2M.Bytes()
+	base := g.mainBase(pid) + uint64(g.collapseGen[pid]%int(chunks))*pagetable.Size2M.Bytes()
+	g.collapseGen[pid]++
+	for off := uint64(0); off < pagetable.Size2M.Bytes(); off += 4096 {
+		g.push(Op{Kind: OpAccess, PID: pid, VA: base + off, Write: true})
+	}
+	g.push(Op{Kind: OpCollapse, PID: pid, VA: base})
 }
 
 // pushCowEvent marks the COW region and writes through every page.
