@@ -33,9 +33,9 @@ test:
 
 # race exercises the concurrency-sensitive packages under the race
 # detector: the sweep runner itself, the refactored experiment drivers,
-# and the simulator core they drive.
+# the simulator core they drive, and the memoized report cache.
 race:
-	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/cpu ./internal/diffcheck
+	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/cpu ./internal/diffcheck ./internal/repcache
 
 # diffcheck runs the four-technique differential-equivalence harness
 # (identical op scripts with THP collapse, COW, and reclaim must produce
@@ -55,9 +55,9 @@ bench-micro:
 		./internal/memsim ./internal/walker ./internal/tlb ./internal/cpu
 
 # bench-compare diffs the current tree's microbenchmarks against the
-# baseline recorded in BENCH_PR7.json (BENCH_PR6.json, BENCH_PR4.json and BENCH_PR2.json
-# stay in the tree as history; replay one with
-# `go run ./cmd/benchbaseline -file BENCH_PR4.json`).
+# baseline recorded in BENCH_PR9.json (BENCH_PR7.json, BENCH_PR6.json,
+# BENCH_PR4.json and BENCH_PR2.json stay in the tree as history; replay
+# one with `go run ./cmd/benchbaseline -file BENCH_PR4.json`).
 # Uses benchstat when installed; otherwise prints both result sets for
 # eyeball comparison.
 bench-compare:
@@ -68,7 +68,7 @@ bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat /tmp/bench_baseline.txt /tmp/bench_current.txt; \
 	else \
-		echo "benchstat not installed; baseline (BENCH_PR7.json) vs current:"; \
+		echo "benchstat not installed; baseline (BENCH_PR9.json) vs current:"; \
 		echo "--- baseline ---"; grep -E '^Benchmark' /tmp/bench_baseline.txt; \
 		echo "--- current ---"; grep -E '^Benchmark' /tmp/bench_current.txt; \
 	fi

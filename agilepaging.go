@@ -323,11 +323,10 @@ type Result struct {
 // Workloads lists the available workload names (paper Table V).
 func Workloads() []string { return workload.Names() }
 
-// Run simulates one workload under one configuration.
-func Run(cfg Config) (Result, error) {
-	if cfg.Workload == "" {
-		return Result{}, fmt.Errorf("agilepaging: no workload named; pick one of %v", Workloads())
-	}
+// options translates the facade config into the experiments layer's run
+// options. Run and RunAllContext share this so a Config always maps to the
+// same simulation cell however it is submitted.
+func (cfg Config) options() experiments.Options {
 	o := experiments.DefaultOptions(cfg.Technique.mode(), cfg.PageSize.size())
 	if cfg.Accesses > 0 {
 		o.Accesses = cfg.Accesses
@@ -345,7 +344,15 @@ func Run(cfg Config) (Result, error) {
 	o.RevertPolicy = cfg.Revert.core()
 	o.AgileStartNested = !cfg.DisableStartNested
 	o.UseSHSP = cfg.SHSPBaseline
-	rep, err := experiments.RunProfile(cfg.Workload, o)
+	return o
+}
+
+// Run simulates one workload under one configuration.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workload == "" {
+		return Result{}, fmt.Errorf("agilepaging: no workload named; pick one of %v", Workloads())
+	}
+	rep, err := experiments.RunProfile(cfg.Workload, cfg.options())
 	if err != nil {
 		return Result{}, err
 	}
@@ -407,10 +414,22 @@ func RunAllContext(ctx context.Context, workers int, cfgs []Config) ([]Result, e
 	}
 	jobs := make([]sweep.Job[Config], len(cfgs))
 	for i, cfg := range cfgs {
+		o := cfg.options()
+		// The cell key covers every result-determining input — two configs
+		// differing only in Accesses or Seed (which the readable prefix
+		// cannot show) get distinct keys, and two spellings of the same cell
+		// (say Seed 0 versus the default 42) share one. The same key is the
+		// DedupKey, so duplicate configs in one list simulate once.
+		dedup, cacheable := experiments.CellKey(cfg.Workload, o)
+		key := fmt.Sprintf("%s/%s/%s", cfg.Workload, cfg.PageSize, cfg.Technique)
+		if cacheable {
+			key = fmt.Sprintf("%s#%.8s", key, dedup)
+		}
 		jobs[i] = sweep.Job[Config]{
-			Key:      fmt.Sprintf("%s/%s/%s", cfg.Workload, cfg.PageSize, cfg.Technique),
+			Key:      key,
 			Workload: cfg.Workload,
 			Options:  cfg,
+			DedupKey: dedup,
 		}
 	}
 	return sweep.Run(ctx, sweep.Config{Workers: workers}, jobs,

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"agilepaging/internal/repcache"
 )
 
 const testAccesses = 30_000
@@ -350,5 +352,49 @@ func TestResultJSONEncodesNames(t *testing.T) {
 	if !strings.Contains(string(data), `"Technique":"agile"`) ||
 		!strings.Contains(string(data), `"PageSize":"2M"`) {
 		t.Errorf("json = %s", data)
+	}
+}
+
+// TestRunAllDeduplicatesIdenticalConfigs verifies a config list with
+// repeated cells runs each unique cell once: duplicates come back
+// bit-identical, and the cache records exactly one simulation per cell.
+func TestRunAllDeduplicatesIdenticalConfigs(t *testing.T) {
+	repcache.Reset()
+	cfgs := []Config{
+		{Workload: "dedup", Technique: Shadow, PageSize: Page4K, Accesses: 4000, Seed: 5},
+		{Workload: "mcf", Technique: Agile, PageSize: Page4K, Accesses: 4000, Seed: 5},
+		{Workload: "dedup", Technique: Shadow, PageSize: Page4K, Accesses: 4000, Seed: 5}, // dup of 0
+		{Workload: "dedup", Technique: Shadow, PageSize: Page4K, Accesses: 4000, Seed: 6}, // distinct seed
+		{Workload: "mcf", Technique: Agile, PageSize: Page4K, Accesses: 4000, Seed: 5},    // dup of 1
+	}
+	got, err := RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != got[0] || got[4] != got[1] {
+		t.Error("duplicate configs returned different results")
+	}
+	if got[3] == got[0] {
+		t.Error("configs differing only in Seed were aliased")
+	}
+	_, misses, _ := repcache.Stats()
+	if misses != 3 {
+		t.Errorf("simulated %d unique cells, want 3", misses)
+	}
+	// Spelled defaults share cells with explicit defaults: Seed 0 means 42.
+	repcache.Reset()
+	pair := []Config{
+		{Workload: "astar", Technique: Nested, PageSize: Page4K, Accesses: 4000},
+		{Workload: "astar", Technique: Nested, PageSize: Page4K, Accesses: 4000, Seed: 42},
+	}
+	res, err := RunAll(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != res[1] {
+		t.Error("default-seed spellings returned different results")
+	}
+	if _, misses, _ := repcache.Stats(); misses != 1 {
+		t.Errorf("default-seed spellings cost %d simulations, want 1", misses)
 	}
 }

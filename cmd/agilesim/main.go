@@ -21,6 +21,7 @@ import (
 
 	"agilepaging"
 	"agilepaging/internal/cpu"
+	"agilepaging/internal/repcache"
 	"agilepaging/internal/workload"
 )
 
@@ -47,6 +48,8 @@ func main() {
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		streamCache  = flag.Int64("stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
 		streamDir    = flag.String("stream-cache-dir", "", "persist generated workload streams in this directory and reuse them across runs")
+		reportCache  = flag.Int64("report-cache", repcache.DefaultBudgetBytes>>20, "memoized simulation report cache budget in MiB (0 disables memoization, -1 unbounded)")
+		reportDir    = flag.String("report-cache-dir", "", "persist simulation reports in this directory and reuse them across runs")
 		machinePool  = flag.Int("machine-pool", cpu.DefaultMachinePoolCapacity, "idle simulated machines kept for reuse across runs (0 disables pooling)")
 		progress     = flag.Bool("progress", false, "print stream-cache and machine-pool statistics to stderr on exit")
 	)
@@ -58,6 +61,12 @@ func main() {
 		workload.SetStreamCacheBudget(*streamCache << 20)
 	}
 	workload.SetStreamCacheDir(*streamDir)
+	if *reportCache < 0 {
+		repcache.SetBudget(-1)
+	} else {
+		repcache.SetBudget(*reportCache << 20)
+	}
+	repcache.SetDir(*reportDir)
 	cpu.SetMachinePoolCapacity(*machinePool)
 	if *progress {
 		defer func() {
@@ -69,6 +78,13 @@ func main() {
 			if *streamDir != "" {
 				fmt.Fprintf(os.Stderr, "stream disk cache: %d loaded, %d generated, %d write errors\n",
 					info.DiskHits, info.DiskMisses, info.DiskErrors)
+			}
+			rinfo := repcache.Info()
+			fmt.Fprintf(os.Stderr, "report cache: %d hits, %d simulated, %d deduped, %d reports\n",
+				rinfo.Hits, rinfo.Misses, rinfo.Deduped, rinfo.Reports)
+			if *reportDir != "" {
+				fmt.Fprintf(os.Stderr, "report disk cache: %d loaded, %d simulated, %d write errors\n",
+					rinfo.DiskHits, rinfo.DiskMisses, rinfo.DiskErrors)
 			}
 		}()
 	}

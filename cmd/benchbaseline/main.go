@@ -1,5 +1,5 @@
 // Command benchbaseline replays the benchmark results recorded in
-// BENCH_PR7.json as standard Go benchmark output, so the committed baseline
+// BENCH_PR9.json as standard Go benchmark output, so the committed baseline
 // can be fed straight to benchstat:
 //
 //	go run ./cmd/benchbaseline > old.txt
@@ -9,8 +9,8 @@
 // By default it emits the "after" lines (the baseline the current tree is
 // expected to match); -which before emits the pre-optimization numbers that
 // motivated the recording. Earlier baselines stay in the tree as history
-// (-file BENCH_PR6.json replays the PR 6 numbers, -file BENCH_PR4.json the
-// PR 4 numbers, and so on).
+// (-file BENCH_PR7.json replays the PR 7 numbers, -file BENCH_PR6.json the
+// PR 6 numbers, and so on).
 package main
 
 import (
@@ -36,7 +36,7 @@ type Baseline struct {
 
 func main() {
 	var (
-		path  = flag.String("file", "BENCH_PR7.json", "baseline file to replay")
+		path  = flag.String("file", "BENCH_PR9.json", "baseline file to replay")
 		which = flag.String("which", "after", "which recording to emit: before | after")
 	)
 	flag.Parse()

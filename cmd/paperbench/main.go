@@ -31,6 +31,7 @@ import (
 	"agilepaging/internal/cpu"
 	"agilepaging/internal/experiments"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/repcache"
 	"agilepaging/internal/sweep"
 	"agilepaging/internal/telemetry"
 	"agilepaging/internal/walker"
@@ -66,6 +67,8 @@ type options struct {
 
 	streamCacheMB  int64
 	streamCacheDir string
+	reportCacheMB  int64
+	reportCacheDir string
 	machinePool    int
 }
 
@@ -97,6 +100,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.walkTrace, "walk-trace", "", "with -metrics: also write the last page walks as Chrome trace-event JSON to this file")
 	fs.Int64Var(&o.streamCacheMB, "stream-cache", workload.DefaultStreamCacheBytes>>20, "shared workload stream cache budget in MiB (0 disables sharing, -1 unbounded)")
 	fs.StringVar(&o.streamCacheDir, "stream-cache-dir", "", "persist generated workload streams in this directory and reuse them across runs")
+	fs.Int64Var(&o.reportCacheMB, "report-cache", repcache.DefaultBudgetBytes>>20, "memoized simulation report cache budget in MiB (0 disables memoization, -1 unbounded)")
+	fs.StringVar(&o.reportCacheDir, "report-cache-dir", "", "persist simulation reports in this directory and reuse them across runs")
 	fs.IntVar(&o.machinePool, "machine-pool", cpu.DefaultMachinePoolCapacity, "idle simulated machines kept for reuse across sweep cells (0 disables pooling)")
 	fs.StringVar(&o.runWorkload, "run", "", "run one sweep cell: this workload under -technique and -pagesize")
 	fs.StringVar(&o.technique, "technique", "agile", "technique for -run (native | nested | shadow | agile)")
@@ -175,6 +180,8 @@ func main() {
 
 	applyStreamCacheBudget(opts.streamCacheMB)
 	workload.SetStreamCacheDir(opts.streamCacheDir)
+	applyReportCacheBudget(opts.reportCacheMB)
+	repcache.SetDir(opts.reportCacheDir)
 	cpu.SetMachinePoolCapacity(opts.machinePool)
 
 	stopProfiles, err := startProfiles(opts.cpuProfile, opts.memProfile)
@@ -383,6 +390,7 @@ func main() {
 		hits, misses, retired, idle := cpu.MachinePoolStats()
 		fmt.Fprintf(os.Stderr, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
 		fmt.Fprint(os.Stderr, formatStreamCacheStats(workload.StreamCacheInfo(), opts.streamCacheDir != ""))
+		fmt.Fprint(os.Stderr, formatReportCacheStats(repcache.Info(), opts.reportCacheDir != ""))
 	}
 }
 
@@ -393,6 +401,18 @@ func formatStreamCacheStats(info workload.StreamCacheSnapshot, disk bool) string
 		info.Hits, info.Misses, info.Streams, float64(info.Bytes)/(1<<20))
 	if disk {
 		out += fmt.Sprintf("stream disk cache: %d loaded, %d generated, %d write errors\n",
+			info.DiskHits, info.DiskMisses, info.DiskErrors)
+	}
+	return out
+}
+
+// formatReportCacheStats renders the -progress report-cache summary line(s).
+// The disk line appears only when -report-cache-dir was given.
+func formatReportCacheStats(info repcache.Snapshot, disk bool) string {
+	out := fmt.Sprintf("report cache: %d hits, %d simulated, %d deduped, %d reports\n",
+		info.Hits, info.Misses, info.Deduped, info.Reports)
+	if disk {
+		out += fmt.Sprintf("report disk cache: %d loaded, %d simulated, %d write errors\n",
 			info.DiskHits, info.DiskMisses, info.DiskErrors)
 	}
 	return out
@@ -436,6 +456,16 @@ func applyStreamCacheBudget(mib int64) {
 		return
 	}
 	workload.SetStreamCacheBudget(mib << 20)
+}
+
+// applyReportCacheBudget translates the -report-cache MiB flag into the
+// repcache package's byte budget (negative passes through as unbounded).
+func applyReportCacheBudget(mib int64) {
+	if mib < 0 {
+		repcache.SetBudget(-1)
+		return
+	}
+	repcache.SetBudget(mib << 20)
 }
 
 // writeSeries exports the epoch series by extension: .csv selects CSV,

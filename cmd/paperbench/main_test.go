@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/repcache"
 	"agilepaging/internal/sweep"
 	"agilepaging/internal/workload"
 )
@@ -161,6 +163,73 @@ func TestFormatStreamCacheStats(t *testing.T) {
 	}
 	got = formatStreamCacheStats(info, true)
 	if !strings.Contains(got, "2 loaded") || !strings.Contains(got, "1 write errors") {
+		t.Errorf("disk line = %q", got)
+	}
+}
+
+func TestParseArgsReportCache(t *testing.T) {
+	var errBuf bytes.Buffer
+	o, err := parseArgs(nil, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(repcache.DefaultBudgetBytes >> 20); o.reportCacheMB != want {
+		t.Errorf("default report-cache = %d MiB, want %d", o.reportCacheMB, want)
+	}
+	if o.reportCacheDir != "" {
+		t.Errorf("default report-cache-dir = %q, want disabled", o.reportCacheDir)
+	}
+	o, err = parseArgs([]string{"-all", "-report-cache", "0", "-report-cache-dir", "/tmp/reports"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.reportCacheMB != 0 {
+		t.Errorf("report-cache = %d, want 0", o.reportCacheMB)
+	}
+	if o.reportCacheDir != "/tmp/reports" {
+		t.Errorf("report-cache-dir = %q", o.reportCacheDir)
+	}
+
+	// The budget must round-trip into the repcache package: 0 disables
+	// memoization (every Do computes), positive budgets enable it,
+	// negative is unbounded.
+	defer func() {
+		repcache.Reset()
+		repcache.SetBudget(repcache.DefaultBudgetBytes)
+	}()
+	repcache.Reset()
+	applyReportCacheBudget(0)
+	calls := 0
+	compute := func() (cpu.Report, error) { calls++; return cpu.Report{}, nil }
+	repcache.Do("paperbench-test", compute)
+	repcache.Do("paperbench-test", compute)
+	if calls != 2 {
+		t.Errorf("-report-cache 0: %d computes, want 2 (memoization disabled)", calls)
+	}
+	applyReportCacheBudget(64)
+	calls = 0
+	repcache.Do("paperbench-test", compute)
+	repcache.Do("paperbench-test", compute)
+	if calls != 1 {
+		t.Errorf("-report-cache 64: %d computes, want 1", calls)
+	}
+}
+
+func TestFormatReportCacheStats(t *testing.T) {
+	info := repcache.Snapshot{
+		Hits: 9, Misses: 3, Deduped: 2, Reports: 3,
+		DiskHits: 1, DiskMisses: 2, DiskErrors: 1,
+	}
+	got := formatReportCacheStats(info, false)
+	if !strings.Contains(got, "9 hits") || !strings.Contains(got, "3 simulated") ||
+		!strings.Contains(got, "2 deduped") {
+		t.Errorf("memory line = %q", got)
+	}
+	if strings.Contains(got, "disk") {
+		t.Errorf("disk line present without -report-cache-dir: %q", got)
+	}
+	got = formatReportCacheStats(info, true)
+	if !strings.Contains(got, "report disk cache: 1 loaded, 2 simulated, 1 write errors") {
 		t.Errorf("disk line = %q", got)
 	}
 }

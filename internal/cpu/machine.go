@@ -100,6 +100,15 @@ func (cfg *Config) normalize() {
 	}
 }
 
+// Normalized returns the config with the defaults New guarantees applied —
+// the exact config a machine built from cfg would report via Config().
+// Configs that build identical machines have identical Normalized values,
+// which makes it the canonical form for content keys over machine behaviour.
+func (cfg Config) Normalized() Config {
+	cfg.normalize()
+	return cfg
+}
+
 // Geometry is the immutable skeleton of a machine: every Config field that
 // determines the shape or capacity of a structure built by New. Two configs
 // with equal geometry describe machines whose difference is run state and

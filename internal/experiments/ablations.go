@@ -57,10 +57,18 @@ func AblationsSweep(ctx context.Context, cfg sweep.Config, accesses int, seed in
 	add := func(name, wl string, kind ablationKind, o Options, notes string) {
 		o.Accesses = accesses
 		o.Seed = seed
+		// Only profile-based ablations are canonical cells; the µbench
+		// kinds build their own op streams outside the stream cache and
+		// are keyed by nothing.
+		var dedup string
+		if kind == ablationProfile {
+			dedup, _ = CellKey(wl, o)
+		}
 		jobs = append(jobs, sweep.Job[ablationSpec]{
 			Key:      name,
 			Workload: wl,
 			Options:  ablationSpec{kind: kind, opts: o, notes: notes},
+			DedupKey: dedup,
 		})
 	}
 

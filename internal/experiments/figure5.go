@@ -69,10 +69,12 @@ func Figure5Sweep(ctx context.Context, cfg sweep.Config, workloads []string, acc
 				o := DefaultOptions(tech, ps)
 				o.Accesses = accesses
 				o.Seed = seed
+				dedup, _ := CellKey(name, o)
 				jobs = append(jobs, sweep.Job[Options]{
 					Key:      fmt.Sprintf("%s/%s/%s", name, ps, tech),
 					Workload: name,
 					Options:  o,
+					DedupKey: dedup,
 				})
 			}
 		}
@@ -205,20 +207,30 @@ type validateRun struct {
 // ValidateModelSweep is ValidateModel on an explicit sweep configuration.
 func ValidateModelSweep(ctx context.Context, cfg sweep.Config, name string, accesses int, seed int64) (ModelValidation, error) {
 	type spec struct {
-		tech        walker.Mode
+		opts        Options
 		miss, traps bool
 	}
+	mk := func(tech walker.Mode) Options {
+		o := DefaultOptions(tech, pagetable.Size4K)
+		o.Accesses = accesses
+		o.Seed = seed
+		return o
+	}
+	// The native and nested measurements are plain cells and carry their
+	// content key for sweep dedup and report caching; the shadow and agile
+	// jobs attach logs at run time, which makes them instrumented — they
+	// must simulate for real, so they declare no DedupKey.
+	dedup := func(o Options) string { k, _ := CellKey(name, o); return k }
+	nativeOpts, nestedOpts := mk(walker.ModeNative), mk(walker.ModeNested)
 	jobs := []sweep.Job[spec]{
-		{Key: name + "/native", Workload: name, Options: spec{tech: walker.ModeNative}},
-		{Key: name + "/nested", Workload: name, Options: spec{tech: walker.ModeNested}},
-		{Key: name + "/shadow", Workload: name, Options: spec{tech: walker.ModeShadow, traps: true}},
-		{Key: name + "/agile", Workload: name, Options: spec{tech: walker.ModeAgile, miss: true, traps: true}},
+		{Key: name + "/native", Workload: name, Options: spec{opts: nativeOpts}, DedupKey: dedup(nativeOpts)},
+		{Key: name + "/nested", Workload: name, Options: spec{opts: nestedOpts}, DedupKey: dedup(nestedOpts)},
+		{Key: name + "/shadow", Workload: name, Options: spec{opts: mk(walker.ModeShadow), traps: true}},
+		{Key: name + "/agile", Workload: name, Options: spec{opts: mk(walker.ModeAgile), miss: true, traps: true}},
 	}
 	runs, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[spec]) (validateRun, error) {
 		var out validateRun
-		o := DefaultOptions(j.Options.tech, pagetable.Size4K)
-		o.Accesses = accesses
-		o.Seed = seed
+		o := j.Options.opts
 		if j.Options.miss {
 			o.MissLog = &out.miss
 		}

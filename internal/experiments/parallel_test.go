@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"agilepaging/internal/repcache"
 	"agilepaging/internal/sweep"
 )
 
@@ -14,6 +15,10 @@ import (
 // (serial) and Workers=8 (heavily interleaved even on one P, since jobs
 // yield at channel/mutex boundaries) — and require deep equality plus
 // byte-identical formatted output.
+//
+// The report cache is reset between the two arms: without that, the second
+// sweep would replay the first's stored reports and the comparison would be
+// trivially true instead of exercising parallel execution.
 
 func TestFigure5SerialParallelEquivalence(t *testing.T) {
 	workloads := []string{"dedup", "mcf"}
@@ -23,6 +28,7 @@ func TestFigure5SerialParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	repcache.Reset()
 	parallel, err := Figure5Sweep(context.Background(), sweep.Config{Workers: 8}, workloads, accesses, seed)
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +48,7 @@ func TestAblationsSerialParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	repcache.Reset()
 	parallel, err := AblationsSweep(context.Background(), sweep.Config{Workers: 8}, accesses, seed)
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +66,7 @@ func TestSensitivitySerialParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	repcache.Reset()
 	parallel, err := SensitivitySweep(context.Background(), sweep.Config{Workers: 8}, 1500, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +81,7 @@ func TestTableISerialParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	repcache.Reset()
 	parallel, err := TableISweep(context.Background(), sweep.Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -88,6 +97,7 @@ func TestSHSPSerialParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	repcache.Reset()
 	parallel, err := SHSPComparisonSweep(context.Background(), sweep.Config{Workers: 4}, workloads, 3000, 42)
 	if err != nil {
 		t.Fatal(err)

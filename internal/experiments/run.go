@@ -9,6 +9,7 @@ import (
 	"agilepaging/internal/core"
 	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
+	"agilepaging/internal/repcache"
 	"agilepaging/internal/telemetry"
 	"agilepaging/internal/trace"
 	"agilepaging/internal/walker"
@@ -116,6 +117,43 @@ func machineConfig(o Options) cpu.Config {
 	return cfg
 }
 
+// instrumented reports whether o attaches an observer (miss/trap log,
+// telemetry recorder, walk-event ring). Instrumented runs must simulate for
+// real every time — their value is the observer's side effects, which a
+// cached report cannot replay — so they bypass the report cache entirely.
+func instrumented(o Options) bool {
+	return o.MissLog != nil || o.TrapLog != nil || o.Metrics != nil || o.WalkEvents != nil
+}
+
+// cellKey derives the canonical report-cache key for one simulation cell:
+// the machine configuration as the run will actually use it (after the
+// one-core-per-thread bump runCell applies) plus the stream identity and
+// warmup split. Keep this in lockstep with runCell.
+func cellKey(prof workload.Profile, cfg cpu.Config, o Options) string {
+	if prof.Threads > cfg.Cores {
+		cfg.Cores = prof.Threads
+	}
+	warm := warmupCount(o)
+	return repcache.KeyFor(cfg, prof, warm+o.Accesses, warm, o.Seed)
+}
+
+// CellKey returns the canonical content key of the simulation cell
+// (workload, o) — the key RunProfile memoizes its report under — and
+// whether the cell is memoizable at all. Instrumented cells (attached
+// logs, telemetry) and unknown workloads report false: they never enter
+// the cache, so they must not be deduplicated against anything either.
+// Sweep drivers use this as the sweep.Job DedupKey.
+func CellKey(name string, o Options) (string, bool) {
+	if instrumented(o) {
+		return "", false
+	}
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		return "", false
+	}
+	return cellKey(prof, machineConfig(o), o), true
+}
+
 // RunProfile simulates one named workload under the given options and
 // returns the measurement report.
 func RunProfile(name string, o Options) (cpu.Report, error) {
@@ -127,8 +165,25 @@ func RunProfile(name string, o Options) (cpu.Report, error) {
 }
 
 // runScaled is RunProfile with an explicit machine configuration (the
-// sensitivity sweep perturbs cost-model fields before running).
+// sensitivity sweep perturbs cost-model fields before running). It is the
+// funnel every profile-based cell goes through, and therefore where report
+// memoization happens: an uninstrumented cell asks the report cache first
+// and simulates only on a miss, so a cell revisited by a later experiment
+// (or a concurrent sweep job, via singleflight) costs a map lookup instead
+// of a simulation. The machine is a pure function of (cfg, stream), pinned
+// by the golden and equivalence tests, so the cached report is bit-identical
+// to re-running. Instrumented runs simulate unconditionally.
 func runScaled(prof workload.Profile, cfg cpu.Config, o Options) (cpu.Report, error) {
+	if instrumented(o) {
+		return runCell(prof, cfg, o)
+	}
+	return repcache.Do(cellKey(prof, cfg, o), func() (cpu.Report, error) {
+		return runCell(prof, cfg, o)
+	})
+}
+
+// runCell executes one simulation cell for real.
+func runCell(prof workload.Profile, cfg cpu.Config, o Options) (cpu.Report, error) {
 	if prof.Threads > cfg.Cores {
 		// Multithreaded workloads get one core per thread (private TLBs,
 		// shared address space), as on the paper's 24-vCPU machine.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"agilepaging/internal/cpu"
 	"agilepaging/internal/pagetable"
 	"agilepaging/internal/sweep"
 	"agilepaging/internal/vmm"
@@ -34,10 +35,14 @@ func Sensitivity(accesses int, seed int64) ([]SensitivityRow, error) {
 	return SensitivitySweep(context.Background(), sweep.Config{}, accesses, seed)
 }
 
-// sensitivitySpec is one (cost scaling, technique) point of the sweep.
+// sensitivitySpec is one (cost scaling, technique) point of the sweep. The
+// perturbed machine configuration is built at declaration time so the job
+// can carry its canonical cell key (DedupKey) and the run executes exactly
+// the configuration that was keyed.
 type sensitivitySpec struct {
 	trapScale, refScale float64
-	tech                walker.Mode
+	opts                Options
+	cfg                 cpu.Config
 }
 
 // sensitivityTechs are the techniques each calibration cell measures.
@@ -52,31 +57,34 @@ func SensitivitySweep(ctx context.Context, cfg sweep.Config, accesses int, seed 
 	for _, trapScale := range []float64{0.3, 1, 3} {
 		for _, refScale := range []float64{0.5, 1, 2} {
 			for _, tech := range sensitivityTechs {
+				o := DefaultOptions(tech, pagetable.Size4K)
+				o.Accesses = accesses
+				o.Seed = seed
+				mcfg := machineConfig(o)
+				costs := vmm.DefaultCostModel()
+				for k := range costs.Cycles {
+					costs.Cycles[k] = uint64(float64(costs.Cycles[k]) * trapScale)
+				}
+				mcfg.TrapCosts = costs
+				mcfg.MemRefCycles = uint64(float64(mcfg.MemRefCycles) * refScale)
+				mcfg.HostRefCycles = uint64(float64(mcfg.HostRefCycles) * refScale)
+				if mcfg.HostRefCycles < 1 {
+					mcfg.HostRefCycles = 1
+				}
 				jobs = append(jobs, sweep.Job[sensitivitySpec]{
 					Key:      fmt.Sprintf("dedup/trap×%.1f/ref×%.1f/%s", trapScale, refScale, tech),
 					Workload: prof.Name,
-					Options:  sensitivitySpec{trapScale: trapScale, refScale: refScale, tech: tech},
+					Options:  sensitivitySpec{trapScale: trapScale, refScale: refScale, opts: o, cfg: mcfg},
+					// The ×1.0 row's cells are exactly the unperturbed
+					// baseline cells, so keying on the perturbed config
+					// lets them share reports with Figure 5's.
+					DedupKey: cellKey(prof, mcfg, o),
 				})
 			}
 		}
 	}
 	overheads, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[sensitivitySpec]) (float64, error) {
-		s := j.Options
-		o := DefaultOptions(s.tech, pagetable.Size4K)
-		o.Accesses = accesses
-		o.Seed = seed
-		mcfg := machineConfig(o)
-		costs := vmm.DefaultCostModel()
-		for k := range costs.Cycles {
-			costs.Cycles[k] = uint64(float64(costs.Cycles[k]) * s.trapScale)
-		}
-		mcfg.TrapCosts = costs
-		mcfg.MemRefCycles = uint64(float64(mcfg.MemRefCycles) * s.refScale)
-		mcfg.HostRefCycles = uint64(float64(mcfg.HostRefCycles) * s.refScale)
-		if mcfg.HostRefCycles < 1 {
-			mcfg.HostRefCycles = 1
-		}
-		rep, err := runScaled(prof, mcfg, o)
+		rep, err := runScaled(prof, j.Options.cfg, j.Options.opts)
 		if err != nil {
 			return 0, err
 		}

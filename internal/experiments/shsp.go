@@ -63,30 +63,32 @@ func SHSPComparisonSweep(ctx context.Context, cfg sweep.Config, workloads []stri
 	if workloads == nil {
 		workloads = workload.Names()
 	}
-	var jobs []sweep.Job[shspSpec]
+	var jobs []sweep.Job[Options]
 	for _, name := range workloads {
 		for _, c := range shspConfigs {
 			label := c.tech.String()
 			if c.shsp {
 				label = "shsp"
 			}
-			jobs = append(jobs, sweep.Job[shspSpec]{
+			o := DefaultOptions(c.tech, pagetable.Size4K)
+			o.Accesses = accesses
+			o.Seed = seed
+			o.UseSHSP = c.shsp
+			// SHSP converges coarsely (whole-process sampling + rebuild);
+			// give every configuration a full-length warmup so the steady
+			// states are compared, as the paper's to-completion runs do.
+			o.Warmup = accesses
+			dedup, _ := CellKey(name, o)
+			jobs = append(jobs, sweep.Job[Options]{
 				Key:      fmt.Sprintf("%s/%s", name, label),
 				Workload: name,
-				Options:  c,
+				Options:  o,
+				DedupKey: dedup,
 			})
 		}
 	}
-	cells, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[shspSpec]) (shspResult, error) {
-		o := DefaultOptions(j.Options.tech, pagetable.Size4K)
-		o.Accesses = accesses
-		o.Seed = seed
-		o.UseSHSP = j.Options.shsp
-		// SHSP converges coarsely (whole-process sampling + rebuild);
-		// give every configuration a full-length warmup so the steady
-		// states are compared, as the paper's to-completion runs do.
-		o.Warmup = accesses
-		rep, err := RunProfile(j.Workload, o)
+	cells, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (shspResult, error) {
+		rep, err := RunProfile(j.Workload, j.Options)
 		if err != nil {
 			return shspResult{}, err
 		}

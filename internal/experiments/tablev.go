@@ -38,7 +38,8 @@ func TableVSweep(ctx context.Context, cfg sweep.Config, accesses int, seed int64
 		o := DefaultOptions(walker.ModeNative, pagetable.Size4K)
 		o.Accesses = accesses
 		o.Seed = seed
-		jobs = append(jobs, sweep.Job[Options]{Key: "table5/" + prof.Name, Workload: prof.Name, Options: o})
+		dedup, _ := CellKey(prof.Name, o)
+		jobs = append(jobs, sweep.Job[Options]{Key: "table5/" + prof.Name, Workload: prof.Name, Options: o, DedupKey: dedup})
 	}
 	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (TableVRow, error) {
 		prof, _ := workload.ProfileByName(j.Workload)

@@ -41,13 +41,24 @@ type Job[O any] struct {
 	Workload string
 	// Options carries the driver-specific run parameters.
 	Options O
+	// DedupKey, when non-empty, is the job's canonical content key: two
+	// jobs with equal DedupKeys are declared to produce identical results,
+	// so Run executes only the first and copies its result to the rest.
+	// "" (the default) opts the job out of deduplication. The experiments
+	// layer sets this to the repcache cell key for uninstrumented
+	// simulation cells and leaves it empty for everything else.
+	DedupKey string
 }
 
 // Progress is a snapshot delivered to Config.OnProgress after each job
 // completes.
 type Progress struct {
-	// Done and Total count completed and declared jobs.
+	// Done and Total count completed and executed jobs. Deduplicated jobs
+	// are not executed, so Total is the unique-job count, not len(jobs).
 	Done, Total int
+	// Deduped is the number of declared jobs folded into another job's
+	// execution by DedupKey (constant across one sweep).
+	Deduped int
 	// Key is the key of the job that just finished.
 	Key string
 	// Elapsed is that job's wall-clock run time.
@@ -79,14 +90,23 @@ func (c Config) workers(jobs int) int {
 // Run executes fn for every job on a bounded worker pool and returns the
 // results in job declaration order.
 //
+// Deduplication: jobs sharing a non-empty DedupKey execute once — the
+// first declaration-order occurrence is the representative; after the
+// sweep completes its result is copied to every duplicate's slot. The
+// worker pool only ever sees unique jobs, so a sweep whose tail is all
+// duplicates finishes when its unique jobs do (no stragglers), and
+// Progress.Total counts unique jobs.
+//
 // Cancellation and errors: the first job error (by declaration order, so
 // the returned error is deterministic under any scheduling) cancels the
 // context passed to still-running jobs and prevents unstarted jobs from
-// starting; Run then returns that error, wrapped with the job's key. If
-// ctx is canceled externally, Run stops starting jobs and returns
-// ctx.Err() (unless some job also failed, in which case the job error
-// wins). On error the returned slice still holds the results of the jobs
-// that completed; unfinished entries are zero values.
+// starting; Run then returns that error, wrapped with the job's key. A
+// representative's error is attributed to it, not its duplicates, and its
+// duplicates keep zero results. If ctx is canceled externally, Run stops
+// starting jobs and returns ctx.Err() (unless some job also failed, in
+// which case the job error wins). On error the returned slice still holds
+// the results of the jobs that completed; unfinished entries are zero
+// values.
 func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(context.Context, Job[O]) (R, error)) ([]R, error) {
 	if fn == nil {
 		return nil, errors.New("sweep: nil run function")
@@ -95,6 +115,28 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 		return nil, ctx.Err()
 	}
 
+	// Dedup pass: order lists the indexes that actually execute, in
+	// declaration order; alias maps every folded index to its
+	// representative. A representative is always the first occurrence of
+	// its DedupKey, so alias targets precede their sources.
+	order := make([]int, 0, len(jobs))
+	var alias map[int]int
+	firstByKey := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		if j.DedupKey != "" {
+			if rep, ok := firstByKey[j.DedupKey]; ok {
+				if alias == nil {
+					alias = make(map[int]int)
+				}
+				alias[i] = rep
+				continue
+			}
+			firstByKey[j.DedupKey] = i
+		}
+		order = append(order, i)
+	}
+	deduped := len(jobs) - len(order)
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -102,7 +144,7 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 	errs := make([]error, len(jobs))
 
 	var (
-		next int64 = -1 // atomically claimed job cursor
+		next int64 = -1 // atomically claimed cursor into order
 		wg   sync.WaitGroup
 		mu   sync.Mutex // guards done and serializes OnProgress
 		done int
@@ -110,8 +152,8 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 	worker := func() {
 		defer wg.Done()
 		for {
-			i := int(atomic.AddInt64(&next, 1))
-			if i >= len(jobs) {
+			o := int(atomic.AddInt64(&next, 1))
+			if o >= len(order) {
 				return
 			}
 			// A failed or canceled sweep starts no further jobs; claimed
@@ -119,6 +161,7 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 			if ctx.Err() != nil {
 				return
 			}
+			i := order[o]
 			start := time.Now()
 			r, err := fn(ctx, jobs[i])
 			if err != nil {
@@ -132,7 +175,8 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 				done++
 				cfg.OnProgress(Progress{
 					Done:    done,
-					Total:   len(jobs),
+					Total:   len(order),
+					Deduped: deduped,
 					Key:     jobs[i].Key,
 					Elapsed: time.Since(start),
 				})
@@ -140,12 +184,21 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 			}
 		}
 	}
-	n := cfg.workers(len(jobs))
+	n := cfg.workers(len(order))
 	wg.Add(n)
 	for w := 0; w < n; w++ {
 		go worker()
 	}
 	wg.Wait()
+
+	// Fan deduplicated results back out. Representatives precede their
+	// aliases, and a failed representative leaves its aliases zero (the
+	// sweep is returning an error anyway).
+	for i, rep := range alias {
+		if errs[rep] == nil {
+			results[i] = results[rep]
+		}
+	}
 
 	for i, err := range errs {
 		if err != nil {

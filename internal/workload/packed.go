@@ -49,6 +49,11 @@ const PackedChunkOps = 4096
 // encoding changes shape.
 const packedEncoderVersion = 1
 
+// PackedEncoderVersion exposes the op wire-format version for content keys
+// layered above this package (a format change alters the decoded ops a
+// simulation replays, so any cache keyed on stream content must include it).
+func PackedEncoderVersion() uint32 { return packedEncoderVersion }
+
 // Tag-byte flag bits (high nibble).
 const (
 	flagWrite = 1 << 4

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"agilepaging/internal/cpu"
+	"agilepaging/internal/repcache"
 )
 
 // lifecycleScenario builds a replay that exercises COW snapshots, large-page
@@ -33,9 +34,14 @@ func lifecycleScenario() *Scenario {
 // technique.
 func TestScenarioReplayPooledEquivalence(t *testing.T) {
 	cpu.ResetMachinePool()
+	// Disable the report cache: this test is about pooled-machine replays, so
+	// every Run must really re-simulate rather than return a stored report.
+	repcache.SetBudget(0)
 	t.Cleanup(func() {
 		cpu.ResetMachinePool()
 		cpu.SetMachinePoolCapacity(cpu.DefaultMachinePoolCapacity)
+		repcache.Reset()
+		repcache.SetBudget(repcache.DefaultBudgetBytes)
 	})
 	for _, tech := range []Technique{Native, Nested, Shadow, Agile} {
 		t.Run(tech.String(), func(t *testing.T) {

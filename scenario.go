@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"agilepaging/internal/cpu"
+	"agilepaging/internal/repcache"
 	"agilepaging/internal/workload"
 )
 
@@ -142,6 +143,12 @@ type ScenarioConfig struct {
 }
 
 // Run replays the scenario under the given configuration.
+//
+// Replays are memoized like experiment cells: a scenario is a pure function
+// of its op list and configuration, so re-running an identical scenario
+// (policy studies that replay one script under many knob settings revisit
+// the same cells constantly) returns the stored report. The key covers
+// every op verbatim — append one op and the cell misses.
 func (s *Scenario) Run(cfg ScenarioConfig) (Result, error) {
 	mc := cpu.DefaultConfig(cfg.Technique.mode(), cfg.PageSize.size())
 	mc.Cores = cfg.Cores
@@ -149,17 +156,23 @@ func (s *Scenario) Run(cfg ScenarioConfig) (Result, error) {
 	mc.CtxSwitchCache = cfg.CtxSwitchCacheEntries
 	mc.EnablePWC = !cfg.DisableMMUCaches
 	mc.EnableNTLB = !cfg.DisableMMUCaches
-	m, err := cpu.AcquireMachine(mc)
+	rep, err := repcache.Do(repcache.KeyForOps(mc, "scenario", s.ops), func() (cpu.Report, error) {
+		m, err := cpu.AcquireMachine(mc)
+		if err != nil {
+			return cpu.Report{}, err
+		}
+		if err := m.Run(workload.NewFromOps("scenario", s.ops)); err != nil {
+			// A failed replay leaves the machine mid-scenario; let the GC
+			// have it rather than pool suspect state.
+			return cpu.Report{}, fmt.Errorf("agilepaging: scenario: %w", err)
+		}
+		rep := m.Report("scenario")
+		cpu.ReleaseMachine(m)
+		return rep, nil
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	if err := m.Run(workload.NewFromOps("scenario", s.ops)); err != nil {
-		// A failed replay leaves the machine mid-scenario; let the GC have
-		// it rather than pool suspect state.
-		return Result{}, fmt.Errorf("agilepaging: scenario: %w", err)
-	}
-	rep := m.Report("scenario")
-	cpu.ReleaseMachine(m)
 	return Result{
 		Workload:         "scenario",
 		Technique:        cfg.Technique,
