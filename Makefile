@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all check vet build test race diffcheck lint bench bench-micro bench-compare bench-parallel clean
+.PHONY: all check vet build test race faults diffcheck lint bench bench-micro bench-compare bench-parallel clean
 
 all: check
 
 # check runs everything CI runs.
-check: vet build test race lint
+check: vet build test race faults lint
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,13 @@ test:
 # the simulator core they drive, and the memoized report cache.
 race:
 	$(GO) test -race ./internal/sweep ./internal/experiments ./internal/cpu ./internal/diffcheck ./internal/repcache
+
+# faults runs the fault-injection suite — panic recovery, retry/backoff,
+# CollectAll error policy, cancellation attribution, and disk-cache
+# integrity across interrupts — under the race detector.
+faults:
+	$(GO) test -race -run 'Fault|Panic|Retr|CollectAll|Cancel|Interrupt|Injector' \
+		./internal/sweep ./internal/experiments ./cmd/paperbench .
 
 # diffcheck runs the four-technique differential-equivalence harness
 # (identical op scripts with THP collapse, COW, and reclaim must produce

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"agilepaging/internal/core"
 	"agilepaging/internal/experiments"
@@ -395,6 +396,34 @@ func validateConfigs(cfgs []Config) error {
 	return nil
 }
 
+// RunAllOptions controls how a batch executes: worker count, error
+// policy, and retry. The zero value matches historical RunAll behavior
+// (one worker per CPU, fail fast, no retry).
+type RunAllOptions struct {
+	// Workers bounds the worker pool; <= 0 selects one worker per CPU.
+	Workers int
+	// CollectAll runs every config even after failures and returns a
+	// joined error attributing each failed cell; the default fails fast.
+	CollectAll bool
+	// Retries re-executes a failed config up to this many extra times.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// subsequent retry (0 = retry immediately).
+	RetryBackoff time.Duration
+}
+
+// sweepConfig translates the batch options into the sweep layer's config.
+func (o RunAllOptions) sweepConfig() sweep.Config {
+	cfg := sweep.Config{Workers: o.Workers}
+	if o.CollectAll {
+		cfg.ErrorPolicy = sweep.CollectAll
+	}
+	if o.Retries > 0 {
+		cfg.Retry = sweep.Retry{Attempts: o.Retries, Backoff: o.RetryBackoff}
+	}
+	return cfg
+}
+
 // RunAll simulates every config concurrently (one worker per CPU) and
 // returns the results in the order the configs were given — identical to
 // running each through Run serially. Invalid specs (empty Workload,
@@ -406,11 +435,23 @@ func RunAll(cfgs []Config) ([]Result, error) {
 
 // RunAllContext is RunAll with explicit cancellation and worker-count
 // control. workers <= 0 selects one worker per CPU. On failure the first
-// error in declaration order is returned regardless of scheduling, so
-// parallel and serial runs report the same failure.
+// observed error is returned, wrapped with the failing job's index and
+// key; use RunAllWith for fault-tolerant batches.
 func RunAllContext(ctx context.Context, workers int, cfgs []Config) ([]Result, error) {
+	results, _, err := RunAllWith(ctx, RunAllOptions{Workers: workers}, cfgs)
+	return results, err
+}
+
+// RunAllWith is RunAllContext with an explicit execution policy. The
+// results slice always has len(cfgs) slots in declaration order; completed
+// reports which slots hold real measurements (the rest are zero Results —
+// failed or, after a cancellation or fail-fast stop, never ran). Under
+// CollectAll every config executes despite failures and the returned error
+// joins one attributed entry per failed cell, so healthy cells of a long
+// campaign survive a bad one.
+func RunAllWith(ctx context.Context, opts RunAllOptions, cfgs []Config) (results []Result, completed []bool, err error) {
 	if err := validateConfigs(cfgs); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	jobs := make([]sweep.Job[Config], len(cfgs))
 	for i, cfg := range cfgs {
@@ -432,10 +473,11 @@ func RunAllContext(ctx context.Context, workers int, cfgs []Config) ([]Result, e
 			DedupKey: dedup,
 		}
 	}
-	return sweep.Run(ctx, sweep.Config{Workers: workers}, jobs,
+	out := sweep.Execute(ctx, opts.sweepConfig(), jobs,
 		func(_ context.Context, j sweep.Job[Config]) (Result, error) {
 			return Run(j.Options)
 		})
+	return out.Results, out.Completed, out.Err
 }
 
 // Compare runs one workload under every technique at the given page size
@@ -448,6 +490,17 @@ func Compare(workloadName string, ps PageSize, accesses int, seed int64) ([]Resu
 // CompareContext is Compare with explicit cancellation and worker-count
 // control (workers <= 0 selects one worker per CPU).
 func CompareContext(ctx context.Context, workers int, workloadName string, ps PageSize, accesses int, seed int64) ([]Result, error) {
+	return RunAllContext(ctx, workers, compareConfigs(workloadName, ps, accesses, seed))
+}
+
+// CompareWith is Compare with an explicit execution policy; see RunAllWith
+// for the completed-mask contract.
+func CompareWith(ctx context.Context, opts RunAllOptions, workloadName string, ps PageSize, accesses int, seed int64) ([]Result, []bool, error) {
+	return RunAllWith(ctx, opts, compareConfigs(workloadName, ps, accesses, seed))
+}
+
+// compareConfigs builds the per-technique configs Compare runs.
+func compareConfigs(workloadName string, ps PageSize, accesses int, seed int64) []Config {
 	cfgs := make([]Config, 0, 4)
 	for _, tech := range Techniques() {
 		cfgs = append(cfgs, Config{
@@ -455,5 +508,5 @@ func CompareContext(ctx context.Context, workers int, workloadName string, ps Pa
 			Accesses: accesses, Seed: seed,
 		})
 	}
-	return RunAllContext(ctx, workers, cfgs)
+	return cfgs
 }

@@ -1,7 +1,9 @@
 package agilepaging
 
 import (
+	"context"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -135,6 +137,62 @@ func TestRunAllUnknownWorkloadNamesJob(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "job 1") || !strings.Contains(err.Error(), "nope") {
 		t.Errorf("error %q does not attribute the failing job", err)
+	}
+}
+
+func TestRunAllWithCollectAll(t *testing.T) {
+	cfgs := []Config{
+		{Workload: "dedup", Technique: Shadow, PageSize: Page4K, Accesses: testAccesses, Seed: 5},
+		{Workload: "nosuchworkload", Technique: Native, Accesses: 2000},
+		{Workload: "mcf", Technique: Agile, PageSize: Page2M, Accesses: testAccesses, Seed: 5},
+	}
+	results, completed, err := RunAllWith(context.Background(), RunAllOptions{CollectAll: true}, cfgs)
+	if err == nil {
+		t.Fatal("bad cell not reported")
+	}
+	if !strings.Contains(err.Error(), "nosuchworkload") {
+		t.Errorf("error %q does not name the failed cell", err)
+	}
+	if want := []bool{true, false, true}; !reflect.DeepEqual(completed, want) {
+		t.Fatalf("completed = %v, want %v", completed, want)
+	}
+	// Healthy cells survive the bad one and match serial Run exactly.
+	for _, i := range []int{0, 2} {
+		want, err := Run(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i] != want {
+			t.Errorf("results[%d] differs from serial Run:\n%+v\n%+v", i, results[i], want)
+		}
+	}
+	if (results[1] != Result{}) {
+		t.Errorf("failed slot holds a result: %+v", results[1])
+	}
+
+	// The default fail-fast policy reports the failure too, just without
+	// the guarantee that the other cells ran.
+	if _, _, err := RunAllWith(context.Background(), RunAllOptions{}, cfgs); err == nil {
+		t.Error("fail-fast run did not report the bad cell")
+	}
+}
+
+func TestCompareWithShape(t *testing.T) {
+	results, completed, err := CompareWith(context.Background(), RunAllOptions{Workers: 2},
+		"dedup", Page4K, testAccesses, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || len(completed) != 4 {
+		t.Fatalf("shape = %d results, %d completed", len(results), len(completed))
+	}
+	for i, ok := range completed {
+		if !ok {
+			t.Errorf("cell %d not completed on a clean run", i)
+		}
+		if results[i].Technique != Techniques()[i] {
+			t.Errorf("cell %d technique = %v", i, results[i].Technique)
+		}
 	}
 }
 

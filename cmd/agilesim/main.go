@@ -5,19 +5,28 @@
 //
 //	agilesim -workload dedup -technique agile -pagesize 4K
 //	agilesim -workload mcf -compare            # all four techniques
+//	agilesim -workload mcf -compare -fail collect -retries 2
 //	agilesim -list                             # available workloads
+//
+// In -compare, SIGINT/SIGTERM interrupt gracefully: in-flight simulations
+// finish, the completed-cell count and cache statistics go to stderr, and
+// the process exits with status 130.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"agilepaging"
 	"agilepaging/internal/cpu"
@@ -35,6 +44,8 @@ func main() {
 		seed         = flag.Int64("seed", 42, "random seed")
 		compare      = flag.Bool("compare", false, "run all four techniques and compare")
 		parallel     = flag.Int("parallel", 0, "simulations to run concurrently in -compare (0 = one per CPU, 1 = serial)")
+		failPolicy   = flag.String("fail", "fast", "-compare error policy: 'fast' stops at the first failed cell, 'collect' runs every cell and reports all failures")
+		retries      = flag.Int("retries", 0, "re-run a failed -compare cell up to this many extra times")
 		list         = flag.Bool("list", false, "list available workloads")
 		noCaches     = flag.Bool("no-mmu-caches", false, "disable page walk caches and nested TLB")
 		hwAD         = flag.Bool("hw-ad", false, "enable the §IV hardware A/D optimization")
@@ -55,6 +66,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *failPolicy != "fast" && *failPolicy != "collect" {
+		fatal(fmt.Errorf("-fail %q: want 'fast' or 'collect'", *failPolicy))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("-retries %d: want >= 0", *retries))
+	}
+
 	if *streamCache < 0 {
 		workload.SetStreamCacheBudget(-1)
 	} else {
@@ -68,25 +86,26 @@ func main() {
 	}
 	repcache.SetDir(*reportDir)
 	cpu.SetMachinePoolCapacity(*machinePool)
+	printCacheStats := func() {
+		hits, misses, retired, idle := cpu.MachinePoolStats()
+		fmt.Fprintf(os.Stderr, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
+		info := workload.StreamCacheInfo()
+		fmt.Fprintf(os.Stderr, "stream cache: %d hits, %d generated, %d streams, %.1f MiB packed\n",
+			info.Hits, info.Misses, info.Streams, float64(info.Bytes)/(1<<20))
+		if *streamDir != "" {
+			fmt.Fprintf(os.Stderr, "stream disk cache: %d loaded, %d generated, %d write errors\n",
+				info.DiskHits, info.DiskMisses, info.DiskErrors)
+		}
+		rinfo := repcache.Info()
+		fmt.Fprintf(os.Stderr, "report cache: %d hits, %d simulated, %d deduped, %d reports\n",
+			rinfo.Hits, rinfo.Misses, rinfo.Deduped, rinfo.Reports)
+		if *reportDir != "" {
+			fmt.Fprintf(os.Stderr, "report disk cache: %d loaded, %d simulated, %d write errors\n",
+				rinfo.DiskHits, rinfo.DiskMisses, rinfo.DiskErrors)
+		}
+	}
 	if *progress {
-		defer func() {
-			hits, misses, retired, idle := cpu.MachinePoolStats()
-			fmt.Fprintf(os.Stderr, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
-			info := workload.StreamCacheInfo()
-			fmt.Fprintf(os.Stderr, "stream cache: %d hits, %d generated, %d streams, %.1f MiB packed\n",
-				info.Hits, info.Misses, info.Streams, float64(info.Bytes)/(1<<20))
-			if *streamDir != "" {
-				fmt.Fprintf(os.Stderr, "stream disk cache: %d loaded, %d generated, %d write errors\n",
-					info.DiskHits, info.DiskMisses, info.DiskErrors)
-			}
-			rinfo := repcache.Info()
-			fmt.Fprintf(os.Stderr, "report cache: %d hits, %d simulated, %d deduped, %d reports\n",
-				rinfo.Hits, rinfo.Misses, rinfo.Deduped, rinfo.Reports)
-			if *reportDir != "" {
-				fmt.Fprintf(os.Stderr, "report disk cache: %d loaded, %d simulated, %d write errors\n",
-					rinfo.DiskHits, rinfo.DiskMisses, rinfo.DiskErrors)
-			}
-		}()
+		defer printCacheStats()
 	}
 
 	if *list {
@@ -132,11 +151,43 @@ func main() {
 	}
 
 	if *compare {
-		results, err := agilepaging.CompareContext(context.Background(), *parallel, *workloadName, ps, *accesses, *seed)
+		// SIGINT/SIGTERM cancel the sweep; once the context is canceled the
+		// handler is released so a second signal kills the process the
+		// default way.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		go func() {
+			<-ctx.Done()
+			stopSignals()
+		}()
+		opts := agilepaging.RunAllOptions{
+			Workers:    *parallel,
+			CollectAll: *failPolicy == "collect",
+			Retries:    *retries,
+		}
+		if opts.Retries > 0 {
+			opts.RetryBackoff = 50 * time.Millisecond
+		}
+		results, completed, err := agilepaging.CompareWith(ctx, opts, *workloadName, ps, *accesses, *seed)
 		if err != nil {
+			if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				done := 0
+				for _, ok := range completed {
+					if ok {
+						done++
+					}
+				}
+				fmt.Fprintf(os.Stderr, "agilesim: interrupted after %d of %d completed simulations\n",
+					done, len(completed))
+				printCacheStats()
+				os.Exit(130)
+			}
+			// Under -fail collect the healthy cells still compare; print
+			// them before reporting the failures.
+			printComparison(results, completed)
 			fatal(err)
 		}
-		printComparison(results)
+		printComparison(results, completed)
 		return
 	}
 
@@ -209,10 +260,21 @@ func printResult(r agilepaging.Result) {
 	w.Flush()
 }
 
-func printComparison(results []agilepaging.Result) {
+// printComparison renders the -compare table. completed masks which slots
+// hold real measurements (nil = all); slots without one — failed, or never
+// run after a fail-fast stop — are marked rather than printed as a row of
+// misleading zeros (the returned error attributes the actual failures).
+func printComparison(results []agilepaging.Result, completed []bool) {
+	if len(results) == 0 {
+		return
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "technique\twalk%\tvmm%\ttotal%\tmisses\trefs/miss\tvm-exits")
-	for _, r := range results {
+	for i, r := range results {
+		if completed != nil && !completed[i] {
+			fmt.Fprintf(w, "%s\t(no result)\t\t\t\t\t\n", agilepaging.Techniques()[i])
+			continue
+		}
 		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%d\t%.2f\t%d\n",
 			r.Technique, 100*r.WalkOverhead, 100*r.VMMOverhead, 100*r.TotalOverhead,
 			r.TLBMisses, r.AvgRefsPerMiss, r.VMExits)

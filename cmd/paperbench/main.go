@@ -15,6 +15,11 @@
 //	paperbench -metrics out.json     # adaptation-curve epoch telemetry
 //	paperbench -run mcf -technique shadow -pagesize 2M   # one sweep cell
 //	paperbench -all -parallel 8      # same results, 8 simulations at a time
+//	paperbench -all -fail collect -retries 2   # run past bad cells, retry flakes
+//
+// SIGINT/SIGTERM interrupt gracefully: in-flight simulations finish, the
+// completed-cell count and cache statistics go to stderr, and the process
+// exits with status 130.
 package main
 
 import (
@@ -23,10 +28,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"agilepaging/internal/cpu"
 	"agilepaging/internal/experiments"
@@ -54,6 +63,8 @@ type options struct {
 	csvDir     string
 	parallel   int
 	progress   bool
+	fail       string
+	retries    int
 	cpuProfile string
 	memProfile string
 
@@ -93,6 +104,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.csvDir, "csv", "", "also write figure5.csv / table6.csv into this directory")
 	fs.IntVar(&o.parallel, "parallel", 0, "simulations to run concurrently (0 = one per CPU, 1 = serial)")
 	fs.BoolVar(&o.progress, "progress", false, "print per-simulation progress to stderr")
+	fs.StringVar(&o.fail, "fail", "fast", "error policy: 'fast' stops at the first failed cell, 'collect' runs every cell and reports all failures")
+	fs.IntVar(&o.retries, "retries", 0, "re-run a failed simulation cell up to this many extra times")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	fs.StringVar(&o.metrics, "metrics", "", "run the adaptation-curve experiment and write its epoch series to this file (.csv for CSV, else JSON)")
@@ -112,21 +125,40 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	if fs.NArg() > 0 {
 		return options{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if o.fail != "fast" && o.fail != "collect" {
+		return options{}, fmt.Errorf("-fail %q: want 'fast' or 'collect'", o.fail)
+	}
+	if o.retries < 0 {
+		return options{}, fmt.Errorf("-retries %d: want >= 0", o.retries)
+	}
 	if workloads != "" {
 		o.workloads = strings.Split(workloads, ",")
 	}
 	return o, nil
 }
 
+// completedSims counts successfully finished simulations across every sweep
+// of the invocation, for the interrupt report.
+var completedSims atomic.Int64
+
 // sweepConfig builds the shared sweep configuration: the requested worker
-// count plus, when -progress is set, a stderr progress line per finished
-// simulation.
+// count, error policy, and retry budget. OnProgress is always installed to
+// feed the interrupt report's completed-simulation counter; it prints a
+// stderr line per finished simulation only when -progress is set.
 func (o options) sweepConfig(stderr io.Writer) sweep.Config {
 	cfg := sweep.Config{Workers: o.parallel}
-	if o.progress {
-		cfg.OnProgress = func(p sweep.Progress) {
+	progress := o.progress
+	cfg.OnProgress = func(p sweep.Progress) {
+		completedSims.Add(1)
+		if progress {
 			fmt.Fprintf(stderr, "  [%d/%d] %s (%.2fs)\n", p.Done, p.Total, p.Key, p.Elapsed.Seconds())
 		}
+	}
+	if o.fail == "collect" {
+		cfg.ErrorPolicy = sweep.CollectAll
+	}
+	if o.retries > 0 {
+		cfg.Retry = sweep.Retry{Attempts: o.retries, Backoff: 50 * time.Millisecond}
 	}
 	return cfg
 }
@@ -191,7 +223,17 @@ func main() {
 	}
 	defer stopProfiles()
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the context: in-flight simulations finish, no
+	// new ones start, and the run() wrapper reports what completed before
+	// exiting nonzero. A second signal kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		// Once the first signal cancels the context, release the handler so
+		// a second signal terminates immediately.
+		<-ctx.Done()
+		stopSignals()
+	}()
 	scfg := opts.sweepConfig(os.Stderr)
 	names := opts.workloads
 
@@ -200,6 +242,13 @@ func main() {
 		ran = true
 		fmt.Printf("==> %s\n", name)
 		if err := fn(); err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %s: interrupted after %d completed simulations\n",
+					name, completedSims.Load())
+				printCacheStats(os.Stderr, opts)
+				stopProfiles()
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
 			stopProfiles()
 			os.Exit(1)
@@ -209,12 +258,14 @@ func main() {
 
 	if opts.all || opts.table == 1 {
 		run("Table I", func() error {
+			// Each sweep driver returns whatever rows completed even on
+			// error (-fail collect keeps going past bad cells), so the
+			// partial table always prints before the failure is reported.
 			rows, err := experiments.TableISweep(ctx, scfg)
-			if err != nil {
-				return err
+			if len(rows) > 0 {
+				fmt.Print(experiments.FormatTableI(rows))
 			}
-			fmt.Print(experiments.FormatTableI(rows))
-			return nil
+			return err
 		})
 	}
 	if opts.all || opts.table == 3 {
@@ -226,21 +277,19 @@ func main() {
 	if opts.all || opts.table == 5 {
 		run("Table V (workload characteristics)", func() error {
 			rows, err := experiments.TableVSweep(ctx, scfg, opts.accesses, opts.seed)
-			if err != nil {
-				return err
+			if len(rows) > 0 {
+				fmt.Print(experiments.FormatTableV(rows))
 			}
-			fmt.Print(experiments.FormatTableV(rows))
-			return nil
+			return err
 		})
 	}
 	if opts.all || opts.table == 2 {
 		run("Table II / Figure 3", func() error {
 			rows, err := experiments.TableIISweep(ctx, scfg)
-			if err != nil {
-				return err
+			if len(rows) > 0 {
+				fmt.Print(experiments.FormatTableII(rows))
 			}
-			fmt.Print(experiments.FormatTableII(rows))
-			return nil
+			return err
 		})
 	}
 	if opts.all || opts.figure == 1 {
@@ -257,6 +306,11 @@ func main() {
 		run("Figure 5 + headline", func() error {
 			res, err := experiments.Figure5Sweep(ctx, scfg, names, opts.accesses, opts.seed)
 			if err != nil {
+				// Partial figure: print completed cells with failures marked,
+				// skip the chart/headline/CSV derived views.
+				if res != nil && len(res.Rows)+len(res.Failed) > 0 {
+					fmt.Print(experiments.FormatFigure5(res))
+				}
 				return err
 			}
 			fmt.Print(experiments.FormatFigure5(res))
@@ -282,6 +336,9 @@ func main() {
 		run("Table VI", func() error {
 			rows, err := experiments.TableVISweep(ctx, scfg, names, opts.accesses, opts.seed)
 			if err != nil {
+				if len(rows) > 0 {
+					fmt.Print(experiments.FormatTableVI(rows))
+				}
 				return err
 			}
 			fmt.Print(experiments.FormatTableVI(rows))
@@ -302,27 +359,28 @@ func main() {
 	if opts.all || opts.shsp {
 		run("SHSP comparison", func() error {
 			rows, err := experiments.SHSPComparisonSweep(ctx, scfg, names, opts.accesses, opts.seed)
-			if err != nil {
-				return err
+			if len(rows) > 0 {
+				fmt.Print(experiments.FormatSHSP(rows))
 			}
-			fmt.Print(experiments.FormatSHSP(rows))
-			return nil
+			return err
 		})
 	}
 	if opts.all || opts.sens {
 		run("Cost-model sensitivity", func() error {
 			rows, err := experiments.SensitivitySweep(ctx, scfg, opts.accesses, opts.seed)
-			if err != nil {
-				return err
+			if len(rows) > 0 {
+				fmt.Print(experiments.FormatSensitivity(rows))
 			}
-			fmt.Print(experiments.FormatSensitivity(rows))
-			return nil
+			return err
 		})
 	}
 	if opts.all || opts.ablations {
 		run("Ablations", func() error {
 			rows, err := experiments.AblationsSweep(ctx, scfg, opts.accesses/2, opts.seed)
 			if err != nil {
+				if len(rows) > 0 {
+					fmt.Print(experiments.FormatAblations(rows))
+				}
 				return err
 			}
 			fmt.Print(experiments.FormatAblations(rows))
@@ -387,11 +445,17 @@ func main() {
 		os.Exit(2)
 	}
 	if opts.progress {
-		hits, misses, retired, idle := cpu.MachinePoolStats()
-		fmt.Fprintf(os.Stderr, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
-		fmt.Fprint(os.Stderr, formatStreamCacheStats(workload.StreamCacheInfo(), opts.streamCacheDir != ""))
-		fmt.Fprint(os.Stderr, formatReportCacheStats(repcache.Info(), opts.reportCacheDir != ""))
+		printCacheStats(os.Stderr, opts)
 	}
+}
+
+// printCacheStats writes the machine-pool and cache summaries — the
+// -progress epilogue, also printed when an interrupt cuts a run short.
+func printCacheStats(w io.Writer, opts options) {
+	hits, misses, retired, idle := cpu.MachinePoolStats()
+	fmt.Fprintf(w, "machine pool: %d reused, %d built, %d retired, %d idle\n", hits, misses, retired, idle)
+	fmt.Fprint(w, formatStreamCacheStats(workload.StreamCacheInfo(), opts.streamCacheDir != ""))
+	fmt.Fprint(w, formatReportCacheStats(repcache.Info(), opts.reportCacheDir != ""))
 }
 
 // formatStreamCacheStats renders the -progress stream-cache summary line(s).

@@ -75,12 +75,23 @@ func TestSweepConfigProgressWiring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := o.sweepConfig(&errBuf)
+	var quiet bytes.Buffer
+	cfg := o.sweepConfig(&quiet)
 	if cfg.Workers != 3 {
 		t.Errorf("Workers = %d, want 3", cfg.Workers)
 	}
-	if cfg.OnProgress != nil {
-		t.Error("OnProgress set without -progress")
+	// OnProgress is always installed (it feeds the interrupt report's
+	// completion counter) but stays silent without -progress.
+	if cfg.OnProgress == nil {
+		t.Fatal("OnProgress nil; the interrupt report needs its counter")
+	}
+	before := completedSims.Load()
+	cfg.OnProgress(sweep.Progress{Done: 1, Total: 4, Key: "x"})
+	if quiet.Len() != 0 {
+		t.Errorf("progress line printed without -progress: %q", quiet.String())
+	}
+	if got := completedSims.Load(); got != before+1 {
+		t.Errorf("completedSims advanced by %d, want 1", got-before)
 	}
 
 	o2, err := parseArgs([]string{"-all", "-progress"}, &errBuf)
@@ -95,6 +106,40 @@ func TestSweepConfigProgressWiring(t *testing.T) {
 	cfg2.OnProgress(sweep.Progress{Done: 3, Total: 64, Key: "dedup/4K/agile", Elapsed: 1500 * time.Millisecond})
 	if got := out.String(); !strings.Contains(got, "[3/64]") || !strings.Contains(got, "dedup/4K/agile") {
 		t.Errorf("progress line = %q", got)
+	}
+}
+
+func TestParseArgsFailAndRetries(t *testing.T) {
+	var errBuf bytes.Buffer
+	o, err := parseArgs([]string{"-all"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.fail != "fast" || o.retries != 0 {
+		t.Errorf("defaults: fail=%q retries=%d, want fast/0", o.fail, o.retries)
+	}
+	cfg := o.sweepConfig(&errBuf)
+	if cfg.ErrorPolicy != sweep.FailFast || cfg.Retry.Attempts != 0 {
+		t.Errorf("default sweep config: policy=%v retry=%+v", cfg.ErrorPolicy, cfg.Retry)
+	}
+
+	o, err = parseArgs([]string{"-all", "-fail", "collect", "-retries", "2"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = o.sweepConfig(&errBuf)
+	if cfg.ErrorPolicy != sweep.CollectAll {
+		t.Errorf("-fail collect: policy = %v", cfg.ErrorPolicy)
+	}
+	if cfg.Retry.Attempts != 2 || cfg.Retry.Backoff <= 0 {
+		t.Errorf("-retries 2: retry = %+v", cfg.Retry)
+	}
+
+	if _, err := parseArgs([]string{"-all", "-fail", "eventually"}, &errBuf); err == nil {
+		t.Error("-fail eventually accepted")
+	}
+	if _, err := parseArgs([]string{"-all", "-retries", "-3"}, &errBuf); err == nil {
+		t.Error("-retries -3 accepted")
 	}
 }
 

@@ -110,7 +110,9 @@ func AblationsSweep(ctx context.Context, cfg sweep.Config, accesses int, seed in
 	withPWC := DefaultOptions(walker.ModeAgile, pagetable.Size4K)
 	add("agile, PWC+NTLB", "graph500", ablationProfile, withPWC, "")
 
-	return sweep.Run(ctx, cfg, jobs, runAblation)
+	out := sweep.Execute(ctx, cfg, jobs, runAblation)
+	rows, _ := partialOutcome(jobs, out)
+	return rows, out.Err
 }
 
 // runAblation executes one ablation job.

@@ -29,9 +29,13 @@ type Figure5Row struct {
 // TotalOv is the bar height.
 func (r Figure5Row) TotalOv() float64 { return r.WalkOv + r.VMMOv }
 
-// Figure5Result holds the full sweep.
+// Figure5Result holds the full sweep. Under sweep.CollectAll a failing
+// cell does not empty the result: Rows holds every completed cell and
+// Failed attributes the rest, so the figure renders partially alongside
+// the returned error.
 type Figure5Result struct {
 	Rows     []Figure5Row
+	Failed   []FailedCell
 	Accesses int
 	Seed     int64
 }
@@ -57,7 +61,10 @@ func Figure5(workloads []string, accesses int, seed int64) (*Figure5Result, erro
 
 // Figure5Sweep is Figure5 on an explicit sweep configuration. Results are
 // in declaration order (workload-major, then page size, then technique),
-// identical to a serial run for any worker count.
+// identical to a serial run for any worker count. On error the result is
+// still non-nil and carries whatever cells completed (plus their failure
+// attributions) — under cfg.ErrorPolicy == sweep.CollectAll that is every
+// healthy cell.
 func Figure5Sweep(ctx context.Context, cfg sweep.Config, workloads []string, accesses int, seed int64) (*Figure5Result, error) {
 	if workloads == nil {
 		workloads = workload.Names()
@@ -79,7 +86,7 @@ func Figure5Sweep(ctx context.Context, cfg sweep.Config, workloads []string, acc
 			}
 		}
 	}
-	rows, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (Figure5Row, error) {
+	out := sweep.Execute(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (Figure5Row, error) {
 		rep, err := RunProfile(j.Workload, j.Options)
 		if err != nil {
 			return Figure5Row{}, err
@@ -93,10 +100,8 @@ func Figure5Sweep(ctx context.Context, cfg sweep.Config, workloads []string, acc
 			Report:    rep,
 		}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &Figure5Result{Rows: rows, Accesses: accesses, Seed: seed}, nil
+	rows, failed := partialOutcome(jobs, out)
+	return &Figure5Result{Rows: rows, Failed: failed, Accesses: accesses, Seed: seed}, out.Err
 }
 
 // HeadlineRow summarizes the paper's §VII.A claims for one workload and

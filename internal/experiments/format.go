@@ -67,7 +67,8 @@ func FormatWalkTraces(traces map[string][]walker.Access) string {
 }
 
 // FormatFigure5 renders the Figure 5 sweep as a table of overhead
-// percentages (walk + VMM components).
+// percentages (walk + VMM components). Cells that failed (a partial sweep
+// under sweep.CollectAll) are appended with their one-line causes.
 func FormatFigure5(f *Figure5Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 5: execution time overheads (page walk + VMM), %d accesses/run\n", f.Accesses)
@@ -79,6 +80,12 @@ func FormatFigure5(f *Figure5Result) string {
 			100*r.WalkOv, 100*r.VMMOv, 100*r.TotalOv())
 	}
 	w.Flush()
+	if len(f.Failed) > 0 {
+		fmt.Fprintf(&b, "FAILED cells (%d):\n", len(f.Failed))
+		for _, c := range f.Failed {
+			fmt.Fprintf(&b, "  %s\tFAILED: %s\n", c.Key, c.Err)
+		}
+	}
 	return b.String()
 }
 

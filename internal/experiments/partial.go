@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+
+	"agilepaging/internal/sweep"
+)
+
+// FailedCell identifies one sweep cell that produced no result, with a
+// one-line cause. Drivers running under sweep.CollectAll return the rows
+// that did complete alongside these, so a long campaign with a few bad
+// cells still yields a (partial) table.
+type FailedCell struct {
+	Key string
+	Err string
+}
+
+// partialOutcome splits a sweep outcome into the completed rows (in
+// declaration order) and the attributed failures. Cells that never ran —
+// cancellation casualties, or jobs unclaimed after a FailFast cancel —
+// appear in neither list: they did not fail, they were interrupted.
+func partialOutcome[O, R any](jobs []sweep.Job[O], out sweep.Outcome[R]) ([]R, []FailedCell) {
+	done := make([]R, 0, len(jobs))
+	var failed []FailedCell
+	for i := range jobs {
+		switch {
+		case out.Completed[i]:
+			done = append(done, out.Results[i])
+		case out.JobErrors[i] != nil:
+			failed = append(failed, FailedCell{Key: jobs[i].Key, Err: cellCause(out.JobErrors[i])})
+		}
+	}
+	return done, failed
+}
+
+// cellCause reduces a job error to a single line. The sweep wraps failures
+// in a JobError that repeats the key; the cell already carries its key, so
+// report the bare cause.
+func cellCause(err error) string {
+	var je *sweep.JobError
+	if errors.As(err, &je) {
+		err = je.Err
+	}
+	s := err.Error()
+	if nl := strings.IndexByte(s, '\n'); nl >= 0 {
+		s = s[:nl]
+	}
+	return s
+}

@@ -83,24 +83,26 @@ func SensitivitySweep(ctx context.Context, cfg sweep.Config, accesses int, seed 
 			}
 		}
 	}
-	overheads, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[sensitivitySpec]) (float64, error) {
+	out := sweep.Execute(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[sensitivitySpec]) (float64, error) {
 		rep, err := runScaled(prof, j.Options.cfg, j.Options.opts)
 		if err != nil {
 			return 0, err
 		}
 		return rep.TotalOverhead(), nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	// A calibration row needs all three of its technique cells; rows with a
+	// failed or never-ran cell are dropped rather than reported half-zero.
 	var rows []SensitivityRow
 	for i := 0; i < len(jobs); i += len(sensitivityTechs) {
+		if !out.Completed[i] || !out.Completed[i+1] || !out.Completed[i+2] {
+			continue
+		}
 		row := SensitivityRow{
 			TrapScale: jobs[i].Options.trapScale,
 			RefScale:  jobs[i].Options.refScale,
-			Nested:    overheads[i],
-			Shadow:    overheads[i+1],
-			Agile:     overheads[i+2],
+			Nested:    out.Results[i],
+			Shadow:    out.Results[i+1],
+			Agile:     out.Results[i+2],
 		}
 		best := row.Nested
 		if row.Shadow < best {
@@ -109,7 +111,7 @@ func SensitivitySweep(ctx context.Context, cfg sweep.Config, accesses int, seed 
 		row.AgileWins = row.Agile <= best*1.02+0.005 // ties allowed
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, out.Err
 }
 
 // FormatSensitivity renders the sweep.

@@ -87,7 +87,7 @@ func SHSPComparisonSweep(ctx context.Context, cfg sweep.Config, workloads []stri
 			})
 		}
 	}
-	cells, err := sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (shspResult, error) {
+	out := sweep.Execute(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (shspResult, error) {
 		rep, err := RunProfile(j.Workload, j.Options)
 		if err != nil {
 			return shspResult{}, err
@@ -97,12 +97,19 @@ func SHSPComparisonSweep(ctx context.Context, cfg sweep.Config, workloads []stri
 			switches: rep.SHSP.ToShadow + rep.SHSP.ToNested,
 		}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	// A comparison row needs all four of its configuration cells; workloads
+	// with a failed or never-ran cell are dropped from the partial table.
 	rows := make([]SHSPRow, 0, len(workloads))
 	for i, name := range workloads {
-		c := cells[i*len(shspConfigs):]
+		base := i * len(shspConfigs)
+		complete := true
+		for k := 0; k < len(shspConfigs); k++ {
+			complete = complete && out.Completed[base+k]
+		}
+		if !complete {
+			continue
+		}
+		c := out.Results[base:]
 		rows = append(rows, SHSPRow{
 			Workload:     name,
 			Nested:       c[0].overhead,
@@ -112,5 +119,5 @@ func SHSPComparisonSweep(ctx context.Context, cfg sweep.Config, workloads []stri
 			SHSPSwitches: c[2].switches,
 		})
 	}
-	return rows, nil
+	return rows, out.Err
 }

@@ -34,15 +34,18 @@ func TableI() ([]TableIRow, error) {
 }
 
 // TableISweep is TableI on an explicit sweep configuration: one job per
-// technique, each running both microbenchmarks.
+// technique, each running both microbenchmarks. On error the returned rows
+// hold whatever techniques completed.
 func TableISweep(ctx context.Context, cfg sweep.Config) ([]TableIRow, error) {
 	jobs := make([]sweep.Job[walker.Mode], 0, 4)
 	for _, tech := range Techniques() {
 		jobs = append(jobs, sweep.Job[walker.Mode]{Key: "table1/" + tech.String(), Options: tech})
 	}
-	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[walker.Mode]) (TableIRow, error) {
+	out := sweep.Execute(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[walker.Mode]) (TableIRow, error) {
 		return tableIRow(j.Options)
 	})
+	rows, _ := partialOutcome(jobs, out)
+	return rows, out.Err
 }
 
 // tableIRow measures one technique's Table I cells.

@@ -121,7 +121,7 @@ func TableIISweep(ctx context.Context, cfg sweep.Config) ([]TableIIRow, error) {
 	for _, d := range degrees {
 		jobs = append(jobs, sweep.Job[degreeSpec]{Key: d.name, Options: d.spec})
 	}
-	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[degreeSpec]) (TableIIRow, error) {
+	out := sweep.Execute(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[degreeSpec]) (TableIIRow, error) {
 		row, err := degreeFixture(j.Options.nested, j.Options.fullNested)
 		if err != nil {
 			return TableIIRow{}, fmt.Errorf("%s: %w", j.Key, err)
@@ -129,6 +129,8 @@ func TableIISweep(ctx context.Context, cfg sweep.Config) ([]TableIIRow, error) {
 		row.Degree = j.Key
 		return row, nil
 	})
+	rows, _ := partialOutcome(jobs, out)
+	return rows, out.Err
 }
 
 // WalkTraces reproduces the numbered access sequences of paper Figure 1:

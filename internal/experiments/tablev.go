@@ -30,7 +30,8 @@ func TableV(accesses int, seed int64) ([]TableVRow, error) {
 }
 
 // TableVSweep is TableV on an explicit sweep configuration: one
-// base-native job per workload profile.
+// base-native job per workload profile. On error the returned rows hold
+// whatever workloads completed (all healthy ones under CollectAll).
 func TableVSweep(ctx context.Context, cfg sweep.Config, accesses int, seed int64) ([]TableVRow, error) {
 	profiles := workload.Profiles()
 	jobs := make([]sweep.Job[Options], 0, len(profiles))
@@ -41,7 +42,7 @@ func TableVSweep(ctx context.Context, cfg sweep.Config, accesses int, seed int64
 		dedup, _ := CellKey(prof.Name, o)
 		jobs = append(jobs, sweep.Job[Options]{Key: "table5/" + prof.Name, Workload: prof.Name, Options: o, DedupKey: dedup})
 	}
-	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (TableVRow, error) {
+	out := sweep.Execute(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (TableVRow, error) {
 		prof, _ := workload.ProfileByName(j.Workload)
 		rep, err := RunProfile(j.Workload, j.Options)
 		if err != nil {
@@ -66,4 +67,6 @@ func TableVSweep(ctx context.Context, cfg sweep.Config, accesses int, seed int64
 			PTUpdateEvents: rep.OS.MapsInstalled + rep.OS.Unmapped,
 		}, nil
 	})
+	rows, _ := partialOutcome(jobs, out)
+	return rows, out.Err
 }

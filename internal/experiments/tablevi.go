@@ -29,7 +29,8 @@ func TableVI(workloads []string, accesses int, seed int64) ([]TableVIRow, error)
 }
 
 // TableVISweep is TableVI on an explicit sweep configuration: one job per
-// workload, each with its own private miss log.
+// workload, each with its own private miss log. On error the returned rows
+// hold whatever workloads completed.
 func TableVISweep(ctx context.Context, cfg sweep.Config, workloads []string, accesses int, seed int64) ([]TableVIRow, error) {
 	if workloads == nil {
 		workloads = workload.Names()
@@ -43,7 +44,7 @@ func TableVISweep(ctx context.Context, cfg sweep.Config, workloads []string, acc
 		o.DisableNTLB = true
 		jobs = append(jobs, sweep.Job[Options]{Key: "table6/" + name, Workload: name, Options: o})
 	}
-	return sweep.Run(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (TableVIRow, error) {
+	out := sweep.Execute(ctx, cfg, jobs, func(_ context.Context, j sweep.Job[Options]) (TableVIRow, error) {
 		// The miss log is created inside the job so concurrent jobs never
 		// share an observer.
 		var miss trace.MissLog
@@ -59,4 +60,6 @@ func TableVISweep(ctx context.Context, cfg sweep.Config, workloads []string, acc
 		}
 		return row, nil
 	})
+	rows, _ := partialOutcome(jobs, out)
+	return rows, out.Err
 }

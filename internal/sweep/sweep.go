@@ -17,6 +17,14 @@
 // contract Run(jobs, fn) with any worker count returns exactly what a
 // serial loop over jobs would; the experiments package's equivalence tests
 // and -race runs enforce it.
+//
+// Fault tolerance: a job that panics does not kill the process — the panic
+// is recovered into a *PanicError and treated as that job's failure.
+// Config.ErrorPolicy selects what a failure does to the rest of the sweep
+// (FailFast cancels it, CollectAll keeps running and joins every failure),
+// and Config.Retry re-executes failed jobs. Execute exposes the full
+// outcome, including a per-job completion mask, so callers can render
+// partial result tables; Run is the errors-only view.
 package sweep
 
 import (
@@ -24,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,29 +60,76 @@ type Job[O any] struct {
 }
 
 // Progress is a snapshot delivered to Config.OnProgress after each job
-// completes.
+// completes successfully.
 type Progress struct {
-	// Done and Total count completed and executed jobs. Deduplicated jobs
-	// are not executed, so Total is the unique-job count, not len(jobs).
+	// Done and Total count successfully completed and executed jobs.
+	// Deduplicated jobs are not executed, so Total is the unique-job
+	// count, not len(jobs). Failed jobs never report progress, so under
+	// CollectAll a sweep with failures finishes with Done < Total.
 	Done, Total int
 	// Deduped is the number of declared jobs folded into another job's
 	// execution by DedupKey (constant across one sweep).
 	Deduped int
 	// Key is the key of the job that just finished.
 	Key string
-	// Elapsed is that job's wall-clock run time.
+	// Elapsed is that job's wall-clock run time, including retries.
 	Elapsed time.Duration
 }
 
+// ErrorPolicy selects how a sweep responds to job failures.
+type ErrorPolicy int
+
+const (
+	// FailFast — the zero value and historical behavior — cancels the
+	// sweep on the first observed failure: running jobs see their context
+	// canceled, unstarted jobs never start, and the sweep error is that
+	// first failure wrapped in a *JobError. "First observed" is a
+	// wall-clock race, not declaration order: when two jobs fail
+	// concurrently, which one wins depends on scheduling. Callers needing
+	// a deterministic error set must use CollectAll.
+	FailFast ErrorPolicy = iota
+	// CollectAll runs every job regardless of failures and returns the
+	// failures joined (errors.Join) in declaration order, each wrapped in
+	// a *JobError — deterministic under any scheduling. Completed jobs
+	// keep their results; Execute's Completed mask says which slots hold
+	// real results.
+	CollectAll
+)
+
+// Retry re-executes failed jobs. The zero value disables retry.
+type Retry struct {
+	// Attempts is the maximum number of re-executions after a failed
+	// attempt: a job runs at most Attempts+1 times. 0 disables retry.
+	Attempts int
+	// Backoff is the wait before the first retry, doubling on each
+	// further retry. The wait aborts immediately if the sweep is
+	// canceled. 0 retries without waiting.
+	Backoff time.Duration
+	// Transient reports whether an error is worth retrying. nil retries
+	// every failure, including recovered panics (filter with errors.As on
+	// *PanicError to exclude them). Cancellation casualties — errors
+	// matching the sweep context's own error after cancellation — never
+	// retry regardless.
+	Transient func(error) bool
+}
+
 // Config parameterizes a sweep execution. The zero value runs on
-// runtime.GOMAXPROCS(0) workers with no progress reporting.
+// runtime.GOMAXPROCS(0) workers with no progress reporting, the FailFast
+// error policy, and no retry.
 type Config struct {
 	// Workers bounds the worker pool; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
 	// OnProgress, when non-nil, is invoked after each job completes.
 	// Invocations are serialized (the callback needs no locking) but
-	// arrive in completion order, not declaration order.
+	// arrive in completion order, not declaration order. A panic in the
+	// callback does not poison the sweep: it is recovered, further
+	// callbacks are suppressed, and the panic surfaces in the sweep error
+	// once the pool drains.
 	OnProgress func(Progress)
+	// ErrorPolicy selects the response to job failures (default FailFast).
+	ErrorPolicy ErrorPolicy
+	// Retry re-executes failed jobs before they count as failures.
+	Retry Retry
 }
 
 func (c Config) workers(jobs int) int {
@@ -87,8 +143,77 @@ func (c Config) workers(jobs int) int {
 	return n
 }
 
+// PanicError is a panic recovered from a sweep job (or from the OnProgress
+// callback), converted into an ordinary error so one bad cell cannot kill
+// the process.
+type PanicError struct {
+	// Value is the value the job panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at the recovery
+	// point (debug.Stack). It is not part of Error() — error strings stay
+	// single-line and deterministic — so callers wanting the trace must
+	// errors.As the sweep error and read it here.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// JobError attributes a job failure to its declaration index and key.
+// Every job failure a sweep reports is wrapped in one.
+type JobError struct {
+	// Index is the job's position in the declared job list.
+	Index int
+	// Key is the job's Key field ("" if the job declared none).
+	Key string
+	// Err is the failure itself (possibly a *PanicError).
+	Err error
+}
+
+func (e *JobError) Error() string {
+	if e.Key != "" {
+		return fmt.Sprintf("sweep: job %d (%s): %v", e.Index, e.Key, e.Err)
+	}
+	return fmt.Sprintf("sweep: job %d: %v", e.Index, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Outcome is the full record of a sweep execution, indexed by job
+// declaration order.
+type Outcome[R any] struct {
+	// Results holds every job's result in declaration order. Slots whose
+	// jobs failed or never ran hold zero values — consult Completed to
+	// tell a real zero-valued result from an absent one.
+	Results []R
+	// Completed[i] reports whether Results[i] holds a real result: the
+	// job (or the representative it deduplicated into) ran to success.
+	Completed []bool
+	// JobErrors[i] is job i's failure as a *JobError, nil if the job
+	// completed or never ran. A deduplicated job's failure is recorded on
+	// its representative only; its aliases stay nil with Completed false.
+	// Under FailFast the set is best-effort (jobs canceled by the first
+	// failure record nothing); under CollectAll it is complete and
+	// deterministic.
+	JobErrors []error
+	// Err is the sweep verdict; see Run for the policy-specific contract.
+	Err error
+}
+
+// CompletedCount returns how many declared jobs hold real results.
+func (o Outcome[R]) CompletedCount() int {
+	n := 0
+	for _, c := range o.Completed {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
 // Run executes fn for every job on a bounded worker pool and returns the
-// results in job declaration order.
+// results in job declaration order. It is Execute reduced to the classic
+// (results, error) shape; callers that need the per-job completion mask or
+// error attribution use Execute directly.
 //
 // Deduplication: jobs sharing a non-empty DedupKey execute once — the
 // first declaration-order occurrence is the representative; after the
@@ -97,22 +222,48 @@ func (c Config) workers(jobs int) int {
 // duplicates finishes when its unique jobs do (no stragglers), and
 // Progress.Total counts unique jobs.
 //
-// Cancellation and errors: the first job error (by declaration order, so
-// the returned error is deterministic under any scheduling) cancels the
-// context passed to still-running jobs and prevents unstarted jobs from
-// starting; Run then returns that error, wrapped with the job's key. A
-// representative's error is attributed to it, not its duplicates, and its
-// duplicates keep zero results. If ctx is canceled externally, Run stops
-// starting jobs and returns ctx.Err() (unless some job also failed, in
-// which case the job error wins). On error the returned slice still holds
-// the results of the jobs that completed; unfinished entries are zero
-// values.
+// Panics: a panicking job does not crash the process; the panic is
+// recovered into a *PanicError carrying the stack and handled as that
+// job's failure (retried and reported like any other error).
+//
+// Errors and cancellation, under FailFast (the default): the first
+// observed failure — a scheduling race when several jobs fail
+// concurrently, so NOT guaranteed deterministic — cancels the context
+// passed to still-running jobs, prevents unstarted jobs from starting,
+// and is returned wrapped in a *JobError with its job index and key.
+// Under CollectAll every job runs; the returned error joins every failure
+// in declaration order (deterministic under any scheduling), each wrapped
+// in a *JobError.
+//
+// External cancellation: if ctx is canceled from outside, Run stops
+// claiming jobs and returns ctx.Err(). A job that returns the
+// cancellation error (or wraps it) after cancellation is a casualty, not
+// a failure — it is never attributed as a job error. Job failures that
+// happened before or despite the cancellation still win under FailFast
+// and join the cancellation under CollectAll.
+//
+// On error the returned slice still holds the results of the jobs that
+// completed; unfinished entries are zero values.
 func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(context.Context, Job[O]) (R, error)) ([]R, error) {
+	out := Execute(ctx, cfg, jobs, fn)
+	return out.Results, out.Err
+}
+
+// Execute is Run returning the full Outcome: declaration-ordered results,
+// the completion mask, per-job error attribution, and the sweep verdict.
+func Execute[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(context.Context, Job[O]) (R, error)) Outcome[R] {
+	out := Outcome[R]{
+		Results:   make([]R, len(jobs)),
+		Completed: make([]bool, len(jobs)),
+		JobErrors: make([]error, len(jobs)),
+	}
 	if fn == nil {
-		return nil, errors.New("sweep: nil run function")
+		out.Err = errors.New("sweep: nil run function")
+		return out
 	}
 	if len(jobs) == 0 {
-		return nil, ctx.Err()
+		out.Err = ctx.Err()
+		return out
 	}
 
 	// Dedup pass: order lists the indexes that actually execute, in
@@ -137,18 +288,86 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 	}
 	deduped := len(jobs) - len(order)
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-
-	results := make([]R, len(jobs))
-	errs := make([]error, len(jobs))
 
 	var (
 		next int64 = -1 // atomically claimed cursor into order
 		wg   sync.WaitGroup
-		mu   sync.Mutex // guards done and serializes OnProgress
+		mu   sync.Mutex // guards done/firstFailure/progress* and serializes OnProgress
 		done int
+		// firstFailure is the first failure any worker observed; under
+		// FailFast it is the sweep error.
+		firstFailure *JobError
+		// progressPanic records a panicking OnProgress callback;
+		// progressDead suppresses further invocations once it happens so
+		// the pool keeps draining.
+		progressPanic *PanicError
+		progressDead  bool
 	)
+
+	// attempt runs fn once, converting a panic into a *PanicError.
+	attempt := func(j Job[O]) (r R, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				var zero R
+				r, err = zero, &PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return fn(ctx, j)
+	}
+
+	// runJob is attempt plus the retry policy: failed attempts re-execute
+	// up to Retry.Attempts extra times with doubling backoff, unless the
+	// error is a cancellation casualty or Transient rejects it.
+	runJob := func(j Job[O]) (R, error) {
+		r, err := attempt(j)
+		backoff := cfg.Retry.Backoff
+		for extra := 0; err != nil && extra < cfg.Retry.Attempts; extra++ {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				break // canceled, not failed: retrying cannot help
+			}
+			if cfg.Retry.Transient != nil && !cfg.Retry.Transient(err) {
+				break
+			}
+			if backoff > 0 {
+				t := time.NewTimer(backoff)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return r, err
+				case <-t.C:
+				}
+				backoff *= 2
+			}
+			r, err = attempt(j)
+		}
+		return r, err
+	}
+
+	// reportProgress serializes the user callback and shields the pool
+	// from callback panics: the lock is released normally (the recover
+	// stops the unwind inside the closure), the callback is disabled, and
+	// the panic surfaces in the sweep error after the pool drains.
+	reportProgress := func(key string, elapsed time.Duration) {
+		mu.Lock()
+		done++
+		p := Progress{Done: done, Total: len(order), Deduped: deduped, Key: key, Elapsed: elapsed}
+		if !progressDead {
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						progressDead = true
+						progressPanic = &PanicError{Value: v, Stack: debug.Stack()}
+					}
+				}()
+				cfg.OnProgress(p)
+			}()
+		}
+		mu.Unlock()
+	}
+
 	worker := func() {
 		defer wg.Done()
 		for {
@@ -156,31 +375,38 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 			if o >= len(order) {
 				return
 			}
-			// A failed or canceled sweep starts no further jobs; claimed
-			// indexes keep their zero results.
+			// A failed (FailFast) or canceled sweep starts no further
+			// jobs; claimed indexes keep their zero results.
 			if ctx.Err() != nil {
 				return
 			}
 			i := order[o]
 			start := time.Now()
-			r, err := fn(ctx, jobs[i])
+			r, err := runJob(jobs[i])
 			if err != nil {
-				errs[i] = err
-				cancel()
-				return
-			}
-			results[i] = r
-			if cfg.OnProgress != nil {
+				// A job reporting the context's own error after
+				// cancellation is a casualty of the cancellation, not a
+				// failing job: record nothing and let the pool drain.
+				if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+					continue
+				}
+				je := &JobError{Index: i, Key: jobs[i].Key, Err: err}
 				mu.Lock()
-				done++
-				cfg.OnProgress(Progress{
-					Done:    done,
-					Total:   len(order),
-					Deduped: deduped,
-					Key:     jobs[i].Key,
-					Elapsed: time.Since(start),
-				})
+				out.JobErrors[i] = je
+				if firstFailure == nil {
+					firstFailure = je
+				}
 				mu.Unlock()
+				if cfg.ErrorPolicy == FailFast {
+					cancel()
+					return
+				}
+				continue
+			}
+			out.Results[i] = r
+			out.Completed[i] = true
+			if cfg.OnProgress != nil {
+				reportProgress(jobs[i].Key, time.Since(start))
 			}
 		}
 	}
@@ -192,24 +418,63 @@ func Run[O, R any](ctx context.Context, cfg Config, jobs []Job[O], fn func(conte
 	wg.Wait()
 
 	// Fan deduplicated results back out. Representatives precede their
-	// aliases, and a failed representative leaves its aliases zero (the
-	// sweep is returning an error anyway).
+	// aliases; a failed representative leaves its aliases zero-valued and
+	// incomplete.
 	for i, rep := range alias {
-		if errs[rep] == nil {
-			results[i] = results[rep]
+		if out.Completed[rep] {
+			out.Results[i] = out.Results[rep]
+			out.Completed[i] = true
 		}
 	}
 
-	for i, err := range errs {
-		if err != nil {
-			if jobs[i].Key != "" {
-				return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
-			}
-			return results, fmt.Errorf("sweep: job %d: %w", i, err)
+	out.Err = verdict(cfg.ErrorPolicy, out.JobErrors, firstFailure, progressPanic, parent.Err())
+	return out
+}
+
+// verdict assembles the sweep error from the recorded failures, the parent
+// context's state, and any OnProgress panic.
+func verdict(policy ErrorPolicy, jobErrors []error, firstFailure *JobError, progressPanic *PanicError, parentErr error) error {
+	var progressErr error
+	if progressPanic != nil {
+		progressErr = fmt.Errorf("sweep: OnProgress callback: %w", progressPanic)
+	}
+	if policy == FailFast {
+		switch {
+		case firstFailure != nil && progressErr != nil:
+			return errors.Join(firstFailure, progressErr)
+		case firstFailure != nil:
+			return firstFailure
+		case parentErr != nil && progressErr != nil:
+			return errors.Join(parentErr, progressErr)
+		case parentErr != nil:
+			return parentErr
+		default:
+			return progressErr // nil when nothing went wrong
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return results, err
+	// CollectAll: join every failure in declaration order — deterministic
+	// under any scheduling — then the external cancellation (so
+	// errors.Is(err, context.Canceled) holds for interrupted sweeps) and
+	// the callback panic. A lone cancellation returns bare, per the
+	// external-cancellation contract.
+	var joined []error
+	for _, je := range jobErrors {
+		if je != nil {
+			joined = append(joined, je)
+		}
 	}
-	return results, nil
+	if parentErr != nil {
+		joined = append(joined, parentErr)
+	}
+	if progressErr != nil {
+		joined = append(joined, progressErr)
+	}
+	switch len(joined) {
+	case 0:
+		return nil
+	case 1:
+		return joined[0]
+	default:
+		return errors.Join(joined...)
+	}
 }

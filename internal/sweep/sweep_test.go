@@ -84,19 +84,17 @@ func TestWorkerCapN(t *testing.T) {
 	}
 }
 
-// TestErrorPropagation checks that the lowest-index failure wins
-// deterministically and that its key is in the message.
+// TestErrorPropagation checks the FailFast contract: the first observed
+// failure wins (which of several concurrent failures that is depends on
+// scheduling), and it always comes back wrapped in a *JobError naming its
+// own index and key.
 func TestErrorPropagation(t *testing.T) {
 	boom := errors.New("boom")
 	jobs := jobList(8)
 	_, err := Run(context.Background(), Config{Workers: 8}, jobs,
 		func(_ context.Context, j Job[int]) (int, error) {
 			if j.Options == 3 || j.Options == 5 {
-				if j.Options == 5 {
-					return 0, boom // fails first...
-				}
-				time.Sleep(2 * time.Millisecond)
-				return 0, fmt.Errorf("late: %w", boom) // ...but 3 outranks it
+				return 0, fmt.Errorf("cell %d: %w", j.Options, boom)
 			}
 			time.Sleep(5 * time.Millisecond)
 			return 0, nil
@@ -107,8 +105,18 @@ func TestErrorPropagation(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("error chain broken: %v", err)
 	}
-	if !strings.Contains(err.Error(), "job 3") || !strings.Contains(err.Error(), "job-3") {
-		t.Fatalf("error does not name the lowest failed job: %v", err)
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("error is not a *JobError: %v", err)
+	}
+	if je.Index != 3 && je.Index != 5 {
+		t.Fatalf("winner index = %d, want a failing job (3 or 5)", je.Index)
+	}
+	if want := fmt.Sprintf("job-%d", je.Index); je.Key != want {
+		t.Fatalf("winner key = %q does not match its index %d", je.Key, je.Index)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("sweep: job %d (job-%d):", je.Index, je.Index)) {
+		t.Fatalf("error does not name the failed job: %v", err)
 	}
 }
 
